@@ -1,0 +1,186 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (via Gbisect.Registry) and runs one Bechamel timing probe
+   per table.
+
+   Usage:
+     dune exec bench/main.exe                     # all tables, quick profile
+     dune exec bench/main.exe -- --profile paper  # full paper scale
+     dune exec bench/main.exe -- gbreg-5000-d3 obs1
+     dune exec bench/main.exe -- --list
+     dune exec bench/main.exe -- --no-bechamel    # skip timing probes
+
+   Absolute numbers are machine-dependent; the shapes (who wins, by what
+   factor, where the degree-3/degree-4 crossover falls) are the paper's
+   claims — see EXPERIMENTS.md. *)
+
+module Registry = Gbisect.Registry
+module Profile = Gbisect.Profile
+module Rng = Gbisect.Rng
+
+let usage () =
+  print_endline
+    "usage: main.exe [--profile smoke|quick|paper] [--list] [--no-bechamel] [--out DIR] \
+     [ids...]"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel probes: one Test.make per table. Each probe times the
+   algorithm mix the table exercises on a small representative instance
+   (pre-generated outside the staged thunk).                            *)
+
+let probe_graph id =
+  let rng = Rng.create ~seed:(Rng.seed_of_string ("probe/" ^ id)) in
+  let gbreg two_n b d =
+    let params = Gbisect.Bregular.{ two_n; b; d } in
+    let params =
+      { params with Gbisect.Bregular.b = Gbisect.Bregular.nearest_feasible_b params }
+    in
+    Gbisect.Bregular.generate rng params
+  in
+  let g2set avg =
+    Gbisect.Planted.generate rng
+      (Gbisect.Planted.params_for_average_degree ~two_n:500 ~avg_degree:avg ~bis:8)
+  in
+  match id with
+  | "table1" | "grid" -> Gbisect.Classic.grid_of_side 22
+  | "ladder" -> Gbisect.Classic.ladder 250
+  | "tree" -> Gbisect.Classic.binary_tree ~depth:8
+  | "gnp-5000" | "gnp-2000" ->
+      Gbisect.Gnp.with_average_degree rng ~n:500 ~avg_degree:3.0
+  | "g2set-5000-d2.5" | "g2set-2000-d2.5" -> g2set 2.5
+  | "g2set-5000-d3" | "g2set-2000-d3" -> g2set 3.0
+  | "g2set-5000-d3.5" | "g2set-2000-d3.5" -> g2set 3.5
+  | "g2set-5000-d4" | "g2set-2000-d4" -> g2set 4.0
+  | "gbreg-5000-d3" | "gbreg-2000-d3" | "obs2" -> gbreg 500 8 3
+  | "gbreg-5000-d4" | "gbreg-2000-d4" | "obs1" -> gbreg 500 8 4
+  | "obs4" | "ablate-matching" | "ablate-levels" | "baseline-spectral" | "figures" ->
+      gbreg 500 8 3
+  | "geometric" ->
+      Gbisect.Geometric.generate rng ~n:500
+        ~radius:(Gbisect.Geometric.radius_for_average_degree ~n:500 ~avg_degree:6.0)
+  | "netlist" ->
+      (* probe the clique expansion of a clustered netlist *)
+      Gbisect.Expansion.clique
+        (Gbisect.Random_netlist.generate rng Gbisect.Random_netlist.default_params)
+  | _ -> Gbisect.Classic.grid_of_side 16
+
+let probe_thunk id =
+  let g = probe_graph id in
+  let algorithm : Gbisect.algorithm =
+    (* Time the algorithm the table is really about: compaction tables
+       probe CKL; the SA-heavy head-to-heads probe SA; default KL. *)
+    match id with
+    | "obs4" -> `Sa
+    | "table1" | "ladder" | "grid" | "tree" -> `Ckl
+    | "ablate-levels" -> `Multilevel
+    | _ -> `Ckl
+  in
+  let seed = Rng.seed_of_string ("probe-run/" ^ id) in
+  fun () ->
+    let rng = Rng.create ~seed in
+    ignore (Gbisect.solve ~algorithm ~starts:1 rng g)
+
+let run_bechamel ids =
+  let open Bechamel in
+  let tests =
+    List.map (fun id -> Test.make ~name:id (Staged.stage (probe_thunk id))) ids
+  in
+  let grouped = Test.make_grouped ~name:"tables" tests in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  print_endline "Bechamel timing probes (one per table; ns per solved instance):";
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> Printf.sprintf "%13.0f" t
+          | _ -> "n/a"
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, est) -> Printf.printf "  %-28s %s ns/run\n" name est) rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let profile = ref Profile.quick in
+  let bechamel = ref true in
+  let out_dir = ref None in
+  let ids = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--list" :: _ ->
+        List.iter
+          (fun e -> Printf.printf "%-18s %s\n" e.Registry.id e.Registry.paper_ref)
+          Registry.all;
+        exit 0
+    | "--help" :: _ ->
+        usage ();
+        exit 0
+    | "--no-bechamel" :: rest ->
+        bechamel := false;
+        parse rest
+    | "--out" :: dir :: rest ->
+        out_dir := Some dir;
+        parse rest
+    | "--profile" :: name :: rest -> (
+        match Profile.by_name name with
+        | Some p ->
+            profile := p;
+            parse rest
+        | None ->
+            Printf.eprintf "unknown profile %S\n" name;
+            exit 2)
+    | id :: rest ->
+        ids := id :: !ids;
+        parse rest
+  in
+  parse args;
+  let selected =
+    match List.rev !ids with
+    | [] -> Registry.all
+    | ids ->
+        List.map
+          (fun id ->
+            match Registry.find id with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment %S (try --list)\n" id;
+                exit 2)
+          ids
+  in
+  Printf.printf
+    "gbisect benchmark harness — profile %s (scale: 5000 -> %d vertices)\n\
+     reproducing: Bui, Heigham, Jones & Leighton, DAC 1989\n\n"
+    !profile.Profile.name
+    (Profile.scaled !profile 5000);
+  let t_start = Unix.gettimeofday () in
+  (match !out_dir with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ());
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      let table = e.Registry.run !profile in
+      Printf.printf "=== %s — %s ===\n%s  [table generated in %.1fs]\n\n" e.Registry.id
+        e.Registry.paper_ref table
+        (Unix.gettimeofday () -. t0);
+      (match !out_dir with
+      | Some dir ->
+          let oc = open_out (Filename.concat dir (e.Registry.id ^ ".txt")) in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc table)
+      | None -> ());
+      flush stdout)
+    selected;
+  if !bechamel then run_bechamel (List.map (fun e -> e.Registry.id) selected);
+  Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t_start)

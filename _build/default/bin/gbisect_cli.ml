@@ -1,0 +1,304 @@
+(* gbisect — command-line front end.
+
+   Subcommands:
+     gen    generate a graph (random model or classic family) to a file
+     solve  bisect a graph file with any of the six algorithms
+     table  regenerate one of the paper's tables (see `table --list`)
+     demo   Figure 3: a ladder graph with a bisection, as DOT
+
+   Graphs travel in the edge-list format of Gbisect.Graph_io; METIS
+   files are auto-detected by the `.graph` extension. *)
+
+open Cmdliner
+
+let read_graph path =
+  if Filename.check_suffix path ".graph" then Gbisect.Graph_io.read_metis path
+  else Gbisect.Graph_io.read_edge_list path
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+
+let seed_term =
+  let doc = "Random seed (experiments are reproducible given the seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"INT" ~doc)
+
+let output_term =
+  let doc = "Output file; - for stdout." in
+  Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let write_output path contents =
+  if path = "-" then print_string contents
+  else begin
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+
+let gen_cmd =
+  let model =
+    let doc =
+      "Graph family: gnp, planted, gbreg, regular, ladder, grid, btree, cycle, \
+       hypercube."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
+  in
+  let n =
+    let doc = "Number of vertices (total)." in
+    Arg.(value & opt int 1000 & info [ "n" ] ~docv:"INT" ~doc)
+  in
+  let degree =
+    let doc = "Average degree (gnp/planted) or exact degree (gbreg/regular)." in
+    Arg.(value & opt float 3.0 & info [ "d"; "degree" ] ~docv:"FLOAT" ~doc)
+  in
+  let b =
+    let doc = "Planted bisection width (planted/gbreg)." in
+    Arg.(value & opt int 16 & info [ "b" ] ~docv:"INT" ~doc)
+  in
+  let run model n degree b seed output =
+    let rng = Gbisect.Rng.create ~seed in
+    let even k = if k land 1 = 1 then k + 1 else k in
+    let graph =
+      match String.lowercase_ascii model with
+      | "gnp" -> Gbisect.Gnp.with_average_degree rng ~n ~avg_degree:degree
+      | "planted" ->
+          Gbisect.Planted.generate rng
+            (Gbisect.Planted.params_for_average_degree ~two_n:(even n) ~avg_degree:degree
+               ~bis:b)
+      | "gbreg" ->
+          let params =
+            Gbisect.Bregular.{ two_n = even n; b; d = int_of_float degree }
+          in
+          let params =
+            { params with Gbisect.Bregular.b = Gbisect.Bregular.nearest_feasible_b params }
+          in
+          Gbisect.Bregular.generate rng params
+      | "regular" ->
+          Gbisect.Degree_seq.random_regular rng ~n ~d:(int_of_float degree)
+      | "ladder" -> Gbisect.Classic.ladder (max 1 (n / 2))
+      | "grid" ->
+          let side = max 2 (int_of_float (Float.round (sqrt (float_of_int n)))) in
+          Gbisect.Classic.grid ~rows:side ~cols:side
+      | "btree" ->
+          let rec depth d = if (1 lsl (d + 1)) - 1 > n then d - 1 else depth (d + 1) in
+          Gbisect.Classic.binary_tree ~depth:(max 1 (depth 1))
+      | "cycle" -> Gbisect.Classic.cycle (max 3 n)
+      | "hypercube" ->
+          let rec dim d = if 1 lsl d > n then d - 1 else dim (d + 1) in
+          Gbisect.Classic.hypercube (max 1 (dim 1))
+      | other -> failwith (Printf.sprintf "unknown model %S" other)
+    in
+    write_output output (Gbisect.Graph_io.to_edge_list_string graph);
+    Printf.eprintf "generated %s: %d vertices, %d edges, avg degree %.2f\n" model
+      (Gbisect.Graph.n_vertices graph)
+      (Gbisect.Graph.n_edges graph)
+      (Gbisect.Graph.average_degree graph)
+  in
+  let info = Cmd.info "gen" ~doc:"Generate a graph from one of the paper's models." in
+  Cmd.v info Term.(const run $ model $ n $ degree $ b $ seed_term $ output_term)
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                               *)
+
+let algorithm_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "kl" -> Ok `Kl
+    | "sa" -> Ok `Sa
+    | "ckl" -> Ok `Ckl
+    | "csa" -> Ok `Csa
+    | "fm" -> Ok `Fm
+    | "mlkl" | "multilevel" -> Ok `Multilevel
+    | _ -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  let print fmt a = Format.pp_print_string fmt (Gbisect.algorithm_name a) in
+  Arg.conv (parse, print)
+
+let solve_cmd =
+  let file =
+    let doc = "Graph file (edge list, or METIS if named *.graph)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc)
+  in
+  let algorithm =
+    let doc = "Algorithm: kl, sa, ckl, csa, fm, mlkl." in
+    Arg.(value & opt algorithm_conv `Ckl & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+  in
+  let starts =
+    let doc = "Number of random starts (best is kept)." in
+    Arg.(value & opt int 2 & info [ "starts" ] ~docv:"INT" ~doc)
+  in
+  let dot =
+    let doc = "Also write a DOT rendering with the cut highlighted." in
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+  in
+  let run file algorithm starts seed dot =
+    let graph = read_graph file in
+    let rng = Gbisect.Rng.create ~seed in
+    let result = Gbisect.solve ~algorithm ~starts rng graph in
+    let bisection = result.Gbisect.bisection in
+    Printf.printf "%s on %s: cut %d (%d+%d vertices), %.3fs\n"
+      (Gbisect.algorithm_name algorithm)
+      file
+      (Gbisect.Bisection.cut bisection)
+      (fst (Gbisect.Bisection.counts bisection))
+      (snd (Gbisect.Bisection.counts bisection))
+      result.Gbisect.seconds;
+    match dot with
+    | None -> ()
+    | Some path ->
+        write_output path
+          (Gbisect.Graph_io.to_dot ~highlight_cut:(Gbisect.Bisection.sides bisection) graph)
+  in
+  let info = Cmd.info "solve" ~doc:"Bisect a graph file." in
+  Cmd.v info Term.(const run $ file $ algorithm $ starts $ seed_term $ dot)
+
+(* ------------------------------------------------------------------ *)
+(* kway                                                                *)
+
+let kway_cmd =
+  let file =
+    let doc = "Graph file (edge list, or METIS if named *.graph)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc)
+  in
+  let k =
+    let doc = "Number of parts (a power of two)." in
+    Arg.(value & opt int 4 & info [ "k" ] ~docv:"INT" ~doc)
+  in
+  let algorithm =
+    let doc = "Per-level bisection solver: kl, ckl, fm, mlkl." in
+    Arg.(value & opt string "ckl" & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+  in
+  let run file k algorithm seed =
+    let graph = read_graph file in
+    let solver =
+      match String.lowercase_ascii algorithm with
+      | "kl" -> Gbisect.Kway.of_algorithm `Kl
+      | "ckl" -> Gbisect.Kway.of_algorithm `Ckl
+      | "fm" -> Gbisect.Kway.of_algorithm `Fm
+      | "mlkl" | "multilevel" -> Gbisect.Kway.of_algorithm `Multilevel
+      | other -> failwith (Printf.sprintf "unknown solver %S" other)
+    in
+    let rng = Gbisect.Rng.create ~seed in
+    let result = Gbisect.Kway.partition ~k ~solver rng graph in
+    Gbisect.Kway.validate graph result;
+    let sizes = Gbisect.Kway.part_sizes result in
+    Printf.printf "%d-way partition of %s: total cut %d (levels %s)\n" k file
+      result.Gbisect.Kway.total_cut
+      (String.concat "+" (List.map string_of_int result.Gbisect.Kway.level_cuts));
+    Array.iteri (fun p s -> Printf.printf "  part %d: %d vertices\n" p s) sizes
+  in
+  let info = Cmd.info "kway" ~doc:"Partition a graph into k parts by recursive bisection." in
+  Cmd.v info Term.(const run $ file $ k $ algorithm $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* netlist                                                             *)
+
+let netlist_cmd =
+  let file =
+    let doc =
+      "Netlist file (gbisect format; hMETIS if named *.hgr). Omit to use a random \
+       clustered netlist."
+    in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"NETLIST" ~doc)
+  in
+  let run file seed =
+    let rng = Gbisect.Rng.create ~seed in
+    let netlist =
+      match file with
+      | Some path when Filename.check_suffix path ".hgr" ->
+          let ic = open_in path in
+          let s =
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          Gbisect.Netlist_io.of_hmetis_string s
+      | Some path -> Gbisect.Netlist_io.read path
+      | None ->
+          Gbisect.Random_netlist.generate rng Gbisect.Random_netlist.default_params
+    in
+    Format.printf "%a@." Gbisect.Hgraph.pp netlist;
+    (* True-objective FM. *)
+    let side, stats = Gbisect.Hfm.run rng netlist in
+    Printf.printf "hypergraph FM:   net cut %d (from %d, %d passes)\n"
+      (Gbisect.Hgraph.cut_size netlist side)
+      stats.Gbisect.Hfm.initial_cut stats.Gbisect.Hfm.passes;
+    (* Clique expansion + the paper's CKL, evaluated on the true objective. *)
+    let clique = Gbisect.Expansion.clique netlist in
+    let b, _ = Gbisect.Compaction.ckl rng clique in
+    Printf.printf "clique + CKL:    net cut %d (graph cut %d)\n"
+      (Gbisect.Hgraph.cut_size netlist (Gbisect.Bisection.sides b))
+      (Gbisect.Bisection.cut b)
+  in
+  let info =
+    Cmd.info "netlist" ~doc:"Bisect a hypergraph netlist (true net-cut objective)."
+  in
+  Cmd.v info Term.(const run $ file $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* table                                                               *)
+
+let table_cmd =
+  let id =
+    let doc = "Experiment id (use --list to enumerate)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let list =
+    let doc = "List all experiment ids and exit." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let profile =
+    let doc = "Profile: smoke, quick or paper (full scale)." in
+    Arg.(value & opt string "quick" & info [ "profile" ] ~docv:"NAME" ~doc)
+  in
+  let run id list profile =
+    if list then
+      List.iter
+        (fun e ->
+          Printf.printf "%-18s %s — %s\n" e.Gbisect.Registry.id e.Gbisect.Registry.paper_ref
+            e.Gbisect.Registry.description)
+        Gbisect.Registry.all
+    else
+      match id with
+      | None -> prerr_endline "table: missing experiment id (try --list)"
+      | Some id -> (
+          match Gbisect.Profile.by_name profile with
+          | None -> Printf.eprintf "unknown profile %S\n" profile
+          | Some profile -> (
+              match Gbisect.Registry.find id with
+              | None -> Printf.eprintf "unknown experiment %S (try --list)\n" id
+              | Some e -> print_string (e.Gbisect.Registry.run profile)))
+  in
+  let info = Cmd.info "table" ~doc:"Regenerate one of the paper's tables." in
+  Cmd.v info Term.(const run $ id $ list $ profile)
+
+(* ------------------------------------------------------------------ *)
+(* demo                                                                *)
+
+let demo_cmd =
+  let run seed output =
+    (* Figure 3 of the paper: "an example of a ladder graph". We draw a
+       small ladder, bisect it with CKL, and emit DOT with the cut
+       highlighted. *)
+    let graph = Gbisect.Classic.ladder 8 in
+    let rng = Gbisect.Rng.create ~seed in
+    let result = Gbisect.solve ~algorithm:`Ckl rng graph in
+    write_output output
+      (Gbisect.Graph_io.to_dot
+         ~highlight_cut:(Gbisect.Bisection.sides result.Gbisect.bisection)
+         graph);
+    Printf.eprintf "ladder 2x8, CKL cut %d (optimal 2)\n"
+      (Gbisect.Bisection.cut result.Gbisect.bisection)
+  in
+  let info = Cmd.info "demo" ~doc:"Figure 3: ladder graph with its bisection (DOT)." in
+  Cmd.v info Term.(const run $ seed_term $ output_term)
+
+let main_cmd =
+  let info =
+    Cmd.info "gbisect" ~version:"1.0.0"
+      ~doc:"Graph bisection: Kernighan-Lin, simulated annealing, and compaction (DAC'89)."
+  in
+  Cmd.group info [ gen_cmd; solve_cmd; kway_cmd; netlist_cmd; table_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

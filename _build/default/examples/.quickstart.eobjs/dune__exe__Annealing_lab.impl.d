@@ -1,0 +1,1 @@
+examples/annealing_lab.ml: Format Gbisect Sys

@@ -1,0 +1,1 @@
+examples/annealing_lab.mli:

@@ -1,0 +1,1 @@
+examples/kway_floorplan.ml: Array Format Gbisect Hashtbl List Option String

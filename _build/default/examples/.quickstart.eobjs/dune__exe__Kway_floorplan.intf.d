@@ -1,0 +1,1 @@
+examples/kway_floorplan.mli:

@@ -1,0 +1,1 @@
+examples/special_graphs.ml: Format Gbisect List

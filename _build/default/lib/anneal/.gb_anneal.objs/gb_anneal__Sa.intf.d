@@ -1,0 +1,1 @@
+lib/anneal/sa.mli: Gb_prng Schedule

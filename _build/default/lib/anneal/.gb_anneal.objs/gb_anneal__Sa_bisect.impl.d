@@ -1,0 +1,1 @@
+lib/anneal/sa_bisect.ml: Array Gb_graph Gb_partition Gb_prng Sa Schedule

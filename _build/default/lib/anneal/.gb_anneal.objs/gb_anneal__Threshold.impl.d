@@ -1,0 +1,1 @@
+lib/anneal/threshold.ml: Gb_partition Gb_prng List Sa Sa_bisect

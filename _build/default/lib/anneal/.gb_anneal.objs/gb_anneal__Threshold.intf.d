@@ -1,0 +1,1 @@
+lib/anneal/threshold.mli: Gb_graph Gb_partition Gb_prng Sa

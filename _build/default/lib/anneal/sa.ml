@@ -1,0 +1,130 @@
+module Rng = Gb_prng.Rng
+
+module type Problem = sig
+  type state
+  type move
+
+  val size : state -> int
+  val cost : state -> float
+  val random_move : Rng.t -> state -> move
+  val delta : state -> move -> float
+  val apply : state -> move -> unit
+  val feasible : state -> bool
+  val snapshot : state -> state
+end
+
+type stats = {
+  temperatures : int;
+  attempted : int;
+  accepted : int;
+  uphill_accepted : int;
+  initial_temperature : float;
+  final_temperature : float;
+  frozen : bool;
+}
+
+module Make (P : Problem) = struct
+  type result = { final : P.state; best : P.state; best_cost : float; stats : stats }
+
+  (* Sample uphill deltas from the start state (without keeping the
+     moves) and choose T such that the mean uphill move is accepted
+     with probability [fraction]: T = -mean_delta / ln fraction. *)
+  let calibrate rng state fraction =
+    let samples = 200 in
+    let sum = ref 0. and count = ref 0 in
+    for _ = 1 to samples do
+      let mv = P.random_move rng state in
+      let d = P.delta state mv in
+      if d > 0. then begin
+        sum := !sum +. d;
+        incr count
+      end
+    done;
+    if !count = 0 then 1.0
+    else
+      let mean = !sum /. float_of_int !count in
+      -.mean /. log fraction
+
+  let run ?(schedule = Schedule.default) ?trace rng state =
+    Schedule.validate schedule;
+    let t0 =
+      match schedule.Schedule.initial_temperature with
+      | Schedule.Fixed_temperature t -> t
+      | Schedule.Calibrate fraction -> calibrate rng state fraction
+    in
+    let temperature = ref t0 in
+    let best = ref (P.snapshot state) in
+    let best_cost = ref (if P.feasible state then P.cost state else infinity) in
+    let have_best = ref (P.feasible state) in
+    let attempted = ref 0 and accepted = ref 0 and uphill = ref 0 in
+    let cold_streak = ref 0 in
+    let temperatures = ref 0 in
+    let frozen = ref false in
+    let trials_per_temp = schedule.Schedule.size_factor * max 1 (P.size state) in
+    let acceptance_budget =
+      (* JAMS cutoff: leave a temperature early once this many moves
+         have been accepted (trials_per_temp + 1 disables it). *)
+      if schedule.Schedule.cutoff >= 1. then trials_per_temp + 1
+      else
+        max 1
+          (int_of_float (schedule.Schedule.cutoff *. float_of_int trials_per_temp))
+    in
+    while
+      (not !frozen)
+      && !temperatures < schedule.Schedule.max_temperatures
+      && !temperature > schedule.Schedule.min_temperature
+    do
+      let accepted_here = ref 0 in
+      let attempted_here = ref 0 in
+      let improved_best = ref false in
+      while !attempted_here < trials_per_temp && !accepted_here < acceptance_budget do
+        incr attempted_here;
+        let mv = P.random_move rng state in
+        let d = P.delta state mv in
+        let accept = d <= 0. || Rng.float rng 1.0 < exp (-.d /. !temperature) in
+        incr attempted;
+        if accept then begin
+          P.apply state mv;
+          incr accepted;
+          incr accepted_here;
+          if d > 0. then incr uphill;
+          if P.feasible state then begin
+            let c = P.cost state in
+            if (not !have_best) || c < !best_cost then begin
+              best := P.snapshot state;
+              best_cost := c;
+              have_best := true;
+              improved_best := true
+            end
+          end
+        end
+      done;
+      incr temperatures;
+      let acceptance = float_of_int !accepted_here /. float_of_int !attempted_here in
+      (match trace with
+      | Some f -> f ~temperature:!temperature ~acceptance ~best_cost:!best_cost
+      | None -> ());
+      if acceptance < schedule.Schedule.min_acceptance && not !improved_best then
+        incr cold_streak
+      else cold_streak := 0;
+      if !cold_streak >= schedule.Schedule.frozen_after then frozen := true
+      else temperature := !temperature *. schedule.Schedule.cooling
+    done;
+    let best_state = if !have_best then !best else P.snapshot state in
+    let best_cost = if !have_best then !best_cost else P.cost state in
+    {
+      final = state;
+      best = best_state;
+      best_cost;
+      stats =
+        {
+          temperatures = !temperatures;
+          attempted = !attempted;
+          accepted = !accepted;
+          uphill_accepted = !uphill;
+          initial_temperature = t0;
+          final_temperature = !temperature;
+          frozen = !frozen;
+        };
+    }
+end

@@ -1,0 +1,82 @@
+(** Generic simulated annealing engine — Figure 1 of the paper, made
+    executable over any problem instance.
+
+    The engine is parameterised by a {!Problem}: a mutable state, a
+    random move proposal, the cost delta of a move, and its
+    application. Line-for-line correspondence with the figure:
+
+    {v
+    1.  GET INITIAL SOLUTION S            — the caller's start state
+    2.  GET INITIAL TEMPERATURE T         — Schedule.initial_temperature
+    3.  WHILE (NOT YET FROZEN) DO         — acceptance-ratio freezing
+    5.    WHILE (NOT YET IN EQUILIBRIUM)  — size_factor * n attempts
+    7.      PICK A RANDOM SOLUTION S'     — Problem.random_move
+    8.      LET delta = CHANGE IN COST    — Problem.delta
+    9.      IF delta < 0 SET S = S'       — accept downhill
+    10.     ELSE SET S = S' WITH          — accept uphill with
+              PROBABILITY e^(-delta/T)      Boltzmann probability
+    12.   REDUCE TEMPERATURE              — t := cooling * t
+    14. OUTPUT SOLUTION S                 — plus the best state seen
+    v}
+
+    Following the paper's §VII warning that SA "may migrate away from
+    an optimal solution ... one must then save the best bisection found
+    as the algorithm progresses", the engine snapshots the best
+    {e feasible} state seen (feasibility defined by the problem), which
+    indeed "increases the time and storage requirements" — that cost
+    is visible in the benchmarks, as the paper says. *)
+
+module type Problem = sig
+  type state
+
+  type move
+
+  val size : state -> int
+  (** Instance size; equilibrium is [size_factor * size] attempts. *)
+
+  val cost : state -> float
+  (** Current cost of the (mutable) state. *)
+
+  val random_move : Gb_prng.Rng.t -> state -> move
+
+  val delta : state -> move -> float
+  (** Cost change if [move] were applied; must not mutate. *)
+
+  val apply : state -> move -> unit
+
+  val feasible : state -> bool
+  (** Whether the current state may be recorded as "best" (e.g. the
+      bisection is balanced). *)
+
+  val snapshot : state -> state
+  (** Immutable-enough copy used to store the best state. *)
+end
+
+type stats = {
+  temperatures : int;
+  attempted : int;
+  accepted : int;
+  uphill_accepted : int;
+  initial_temperature : float;
+  final_temperature : float;
+  frozen : bool;  (** [true]: acceptance froze; [false]: a safety cap hit. *)
+}
+
+module Make (P : Problem) : sig
+  type result = {
+    final : P.state;  (** State when the schedule ended. *)
+    best : P.state;  (** Best feasible state seen (= [final] if none). *)
+    best_cost : float;
+    stats : stats;
+  }
+
+  val run :
+    ?schedule:Schedule.t ->
+    ?trace:(temperature:float -> acceptance:float -> best_cost:float -> unit) ->
+    Gb_prng.Rng.t ->
+    P.state ->
+    result
+  (** [run rng state] anneals [state] in place (the caller should keep
+      its own copy if needed) and returns it along with the best
+      feasible snapshot. [trace] fires after every temperature. *)
+end

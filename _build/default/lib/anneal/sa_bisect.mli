@@ -1,0 +1,71 @@
+(** Simulated annealing for graph bisection (paper §II, as instantiated
+    by Johnson, Aragon, McGeoch and Schevon).
+
+    The solution space is {e all} two-side assignments, not just
+    balanced ones: a move flips one random vertex to the other side,
+    and imbalance is discouraged by a quadratic penalty,
+
+    [cost(side) = cut(side) + imbalance_factor * (|V1| - |V2|)^2].
+
+    This soft constraint is what lets annealing tunnel between balanced
+    configurations through slightly unbalanced ones. The best
+    {e exactly balanced} configuration seen is tracked throughout (the
+    paper insists on this, §VII); on termination the result is the
+    better of that snapshot and the final state after greedy
+    rebalancing. *)
+
+type config = {
+  imbalance_factor : float;  (** [> 0]; the default [0.05] follows JAMS. *)
+  schedule : Schedule.t;
+}
+
+val default_config : config
+(** [{ imbalance_factor = 0.05; schedule = Schedule.default }]. *)
+
+type stats = {
+  sa : Sa.stats;  (** Engine counters. *)
+  best_was_snapshot : bool;
+      (** [true] when the returned bisection is the tracked best
+          balanced state rather than the rebalanced final state. *)
+  initial_cut : int;
+  final_cut : int;
+}
+
+val refine :
+  ?config:config ->
+  ?trace:(temperature:float -> acceptance:float -> best_cost:float -> unit) ->
+  Gb_prng.Rng.t ->
+  Gb_graph.Csr.t ->
+  int array ->
+  int array * stats
+(** Anneal from the given balanced assignment; returns a balanced
+    assignment (never worse than rebalancing the input would be only in
+    expectation — SA is stochastic).
+    @raise Invalid_argument if the input is invalid or unbalanced. *)
+
+val run :
+  ?config:config ->
+  ?trace:(temperature:float -> acceptance:float -> best_cost:float -> unit) ->
+  Gb_prng.Rng.t ->
+  Gb_graph.Csr.t ->
+  Gb_partition.Bisection.t * stats
+(** The paper's standard SA: {!refine} from a fresh random balanced
+    bisection. *)
+
+(** {1 Reuse by other metaheuristics}
+
+    The underlying problem instance (state = side assignment with a
+    cached cut and side counts, move = single-vertex flip, cost = cut
+    plus quadratic imbalance penalty) is exposed so that alternative
+    engines — e.g. {!Threshold} accepting — can run on the identical
+    search space. *)
+
+module Problem : sig
+  include Sa.Problem
+
+  val make : config -> Gb_graph.Csr.t -> int array -> state
+  (** Build a state from a balanced side assignment (copied). *)
+
+  val sides : state -> int array
+  (** Current side assignment (copied). *)
+end

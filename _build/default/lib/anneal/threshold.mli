@@ -1,0 +1,68 @@
+(** Threshold accepting (Dueck & Scheuer, 1990) — the deterministic
+    cousin of simulated annealing, published the year after the paper
+    as a direct response to SA's tuning burden (§VII's closing
+    complaint).
+
+    Same outer loop as Figure 1, but step 10 becomes: accept the move
+    iff its cost increase is below the current {e threshold} — no
+    exponentials, no random acceptance draw. The threshold plays the
+    temperature's role and decays geometrically.
+
+    Included as an extension so the bench harness can ask how much of
+    SA's behaviour on bisection is the Boltzmann rule and how much is
+    just "allow bounded uphill moves for a while". *)
+
+type schedule = {
+  initial_threshold : [ `Fixed of float | `Calibrate of float ];
+      (** [`Calibrate f]: set the threshold at the [f]-quantile of
+          sampled uphill deltas ([0 < f < 1]). *)
+  decay : float;  (** Geometric threshold decay, in (0, 1). *)
+  size_factor : int;  (** Moves per threshold level = [size_factor * n]. *)
+  min_acceptance : float;  (** Stop when acceptance stays below this... *)
+  frozen_after : int;  (** ...for this many consecutive levels. *)
+  max_levels : int;
+}
+
+val default_schedule : schedule
+(** [`Calibrate 0.6], decay [0.95], size_factor [8],
+    min_acceptance [0.02], frozen_after [5], max_levels [1000]. *)
+
+val validate : schedule -> unit
+(** @raise Invalid_argument on out-of-range fields. *)
+
+type stats = {
+  levels : int;
+  attempted : int;
+  accepted : int;
+  initial_threshold : float;
+  final_threshold : float;
+}
+
+module Make (P : Sa.Problem) : sig
+  type result = { final : P.state; best : P.state; best_cost : float; stats : stats }
+
+  val run : ?schedule:schedule -> Gb_prng.Rng.t -> P.state -> result
+  (** Anneal the state in place under threshold accepting; the RNG is
+      used only for move proposal and calibration. *)
+end
+
+(** {1 Bisection front end} *)
+
+val refine :
+  ?schedule:schedule ->
+  ?imbalance_factor:float ->
+  Gb_prng.Rng.t ->
+  Gb_graph.Csr.t ->
+  int array ->
+  int array * stats
+(** Threshold-accepting bisection on {!Sa_bisect.Problem}: same search
+    space, penalty and balance repair as {!Sa_bisect.refine}.
+    @raise Invalid_argument on invalid or unbalanced input. *)
+
+val run :
+  ?schedule:schedule ->
+  ?imbalance_factor:float ->
+  Gb_prng.Rng.t ->
+  Gb_graph.Csr.t ->
+  Gb_partition.Bisection.t * stats
+(** From a fresh random balanced bisection. *)

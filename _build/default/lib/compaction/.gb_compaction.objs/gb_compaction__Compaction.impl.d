@@ -1,0 +1,1 @@
+lib/compaction/compaction.ml: Gb_anneal Gb_graph Gb_kl Gb_partition Gb_prng List

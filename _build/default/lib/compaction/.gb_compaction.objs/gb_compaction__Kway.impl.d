@@ -1,0 +1,1 @@
+lib/compaction/kway.ml: Array Compaction Gb_graph Gb_kl Gb_partition Gb_prng List Printf

@@ -1,0 +1,1 @@
+lib/compaction/kway.mli: Gb_graph Gb_prng

@@ -1,0 +1,117 @@
+module Rng = Gb_prng.Rng
+module Csr = Gb_graph.Csr
+module Matching = Gb_graph.Matching
+module Contraction = Gb_graph.Contraction
+module Bisection = Gb_partition.Bisection
+module Initial = Gb_partition.Initial
+
+type refiner = Rng.t -> Csr.t -> int array -> int array
+
+type policy = Random_matching | Heavy_edge_matching
+
+type stats = {
+  fine_vertices : int;
+  coarse_vertices : int;
+  coarse_average_degree : float;
+  coarse_cut : int;
+  projected_cut : int;
+  final_cut : int;
+  levels : int;
+}
+
+let match_with policy rng g =
+  match policy with
+  | Random_matching -> Matching.random_maximal rng g
+  | Heavy_edge_matching -> Matching.heavy_edge rng g
+
+let bisect ?(policy = Random_matching) ~refiner rng g =
+  let matching = match_with policy rng g in
+  let contraction = Contraction.contract g matching in
+  let coarse = contraction.Contraction.coarse in
+  (* Step 3: bisect the contracted graph from a random start. *)
+  let coarse_start = Initial.random rng coarse in
+  let coarse_side = refiner rng coarse coarse_start in
+  let coarse_cut = Bisection.compute_cut coarse coarse_side in
+  (* Step 4: uncompact and repair count balance. *)
+  let projected = Contraction.project_to_fine contraction coarse_side in
+  let start = Bisection.rebalance g projected in
+  let projected_cut = Bisection.compute_cut g start in
+  (* Step 5: refine on the original graph. *)
+  let final_side = refiner rng g start in
+  let final_cut = Bisection.compute_cut g final_side in
+  ( Bisection.of_sides g final_side,
+    {
+      fine_vertices = Csr.n_vertices g;
+      coarse_vertices = Csr.n_vertices coarse;
+      coarse_average_degree = Csr.average_degree coarse;
+      coarse_cut;
+      projected_cut;
+      final_cut;
+      levels = 1;
+    } )
+
+let recursive ?(policy = Random_matching) ?(min_vertices = 64) ?(max_levels = 20)
+    ~refiner rng g =
+  if min_vertices < 2 then invalid_arg "Compaction.recursive: min_vertices < 2";
+  if max_levels < 1 then invalid_arg "Compaction.recursive: max_levels < 1";
+  (* Coarsening phase. *)
+  let rec coarsen hierarchy g levels =
+    if Csr.n_vertices g <= min_vertices || levels >= max_levels then (hierarchy, g)
+    else begin
+      let matching = match_with policy rng g in
+      let contraction = Contraction.contract g matching in
+      let coarse = contraction.Contraction.coarse in
+      (* Stop when contraction no longer shrinks meaningfully. *)
+      if 10 * Csr.n_vertices coarse > 9 * Csr.n_vertices g then (hierarchy, g)
+      else coarsen (contraction :: hierarchy) coarse (levels + 1)
+    end
+  in
+  let hierarchy, coarsest = coarsen [] g 0 in
+  let coarse_vertices = Csr.n_vertices coarsest in
+  let coarse_average_degree = Csr.average_degree coarsest in
+  (* Bisect the coarsest level. *)
+  let side = refiner rng coarsest (Initial.random rng coarsest) in
+  let coarse_cut = Bisection.compute_cut coarsest side in
+  (* Pair each contraction with the fine graph it was applied to:
+     [hierarchy] is coarsest-contraction-first, so rebuild finest-first
+     from the original graph, then walk it coarsest-first to refine up. *)
+  let finest_first =
+    let rec build g = function
+      | [] -> []
+      | c :: rest -> (g, c) :: build c.Contraction.coarse rest
+    in
+    build g (List.rev hierarchy)
+  in
+  let projected_cut = ref coarse_cut in
+  let side =
+    List.fold_left
+      (fun side (fine_g, contraction) ->
+        let projected = Contraction.project_to_fine contraction side in
+        let start = Bisection.rebalance fine_g projected in
+        projected_cut := Bisection.compute_cut fine_g start;
+        refiner rng fine_g start)
+      side (List.rev finest_first)
+  in
+  let final_cut = Bisection.compute_cut g side in
+  ( Bisection.of_sides g side,
+    {
+      fine_vertices = Csr.n_vertices g;
+      coarse_vertices;
+      coarse_average_degree;
+      coarse_cut;
+      projected_cut = !projected_cut;
+      final_cut;
+      levels = List.length hierarchy + 1;
+    } )
+
+let kl_refiner ?config () : refiner =
+ fun _rng g side -> fst (Gb_kl.Kl.refine ?config g side)
+
+let sa_refiner ?config () : refiner =
+ fun rng g side -> fst (Gb_anneal.Sa_bisect.refine ?config rng g side)
+
+let fm_refiner ?config () : refiner =
+ fun _rng g side -> fst (Gb_kl.Fm.refine ?config g side)
+
+let ckl ?config rng g = bisect ~refiner:(kl_refiner ?config ()) rng g
+let csa ?config rng g = bisect ~refiner:(sa_refiner ?config ()) rng g

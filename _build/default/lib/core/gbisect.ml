@@ -1,0 +1,76 @@
+module Rng = Gb_prng.Rng
+module Lfg = Gb_prng.Lfg
+module Graph = Gb_graph.Csr
+module Builder = Gb_graph.Builder
+module Classic = Gb_graph.Classic
+module Traverse = Gb_graph.Traverse
+module Graph_io = Gb_graph.Gio
+module Matching = Gb_graph.Matching
+module Subgraph = Gb_graph.Subgraph
+module Contraction = Gb_graph.Contraction
+module Product = Gb_graph.Product
+module Gnp = Gb_models.Gnp
+module Planted = Gb_models.Planted
+module Bregular = Gb_models.Bregular
+module Degree_seq = Gb_models.Degree_seq
+module Geometric = Gb_models.Geometric
+module Small_world = Gb_models.Small_world
+module Bisection = Gb_partition.Bisection
+module Initial = Gb_partition.Initial
+module Exact = Gb_partition.Exact
+module Spectral = Gb_partition.Spectral
+module Cycles = Gb_partition.Cycles
+module Metrics = Gb_partition.Metrics
+module Tree_exact = Gb_partition.Tree_exact
+module Kl = Gb_kl.Kl
+module Fm = Gb_kl.Fm
+module Gain_buckets = Gb_kl.Gain_buckets
+module Sa = Gb_anneal.Sa
+module Schedule = Gb_anneal.Schedule
+module Sa_bisect = Gb_anneal.Sa_bisect
+module Threshold = Gb_anneal.Threshold
+module Compaction = Gb_compaction.Compaction
+module Kway = Gb_compaction.Kway
+module Hgraph = Gb_hyper.Hgraph
+module Hfm = Gb_hyper.Hfm
+module Expansion = Gb_hyper.Expansion
+module Netlist_io = Gb_hyper.Netlist_io
+module Random_netlist = Gb_hyper.Random_netlist
+module Hcoarsen = Gb_hyper.Hcoarsen
+module Placement = Gb_hyper.Placement
+module Hsa = Gb_hyper.Hsa
+module Profile = Gb_experiments.Profile
+module Runner = Gb_experiments.Runner
+module Registry = Gb_experiments.Registry
+module Experiment_table = Gb_experiments.Table
+
+type algorithm = [ `Kl | `Sa | `Ckl | `Csa | `Fm | `Multilevel ]
+
+let algorithm_name = function
+  | `Kl -> "KL"
+  | `Sa -> "SA"
+  | `Ckl -> "CKL"
+  | `Csa -> "CSA"
+  | `Fm -> "FM"
+  | `Multilevel -> "MLKL"
+
+type result = { bisection : Bisection.t; algorithm : algorithm; seconds : float }
+
+let run_once algorithm rng g =
+  match algorithm with
+  | `Kl -> fst (Kl.run rng g)
+  | `Sa -> fst (Sa_bisect.run rng g)
+  | `Ckl -> fst (Compaction.ckl rng g)
+  | `Csa -> fst (Compaction.csa rng g)
+  | `Fm -> fst (Fm.run rng g)
+  | `Multilevel -> fst (Compaction.recursive ~refiner:(Compaction.kl_refiner ()) rng g)
+
+let solve ?(algorithm = `Ckl) ?(starts = 2) rng g =
+  if starts < 1 then invalid_arg "Gbisect.solve: starts must be >= 1";
+  let t0 = Sys.time () in
+  let best = ref (run_once algorithm rng g) in
+  for _ = 2 to starts do
+    let candidate = run_once algorithm rng g in
+    if Bisection.cut candidate < Bisection.cut !best then best := candidate
+  done;
+  { bisection = !best; algorithm; seconds = Sys.time () -. t0 }

@@ -1,0 +1,110 @@
+(** Gbisect — graph bisection by Kernighan-Lin, simulated annealing and
+    compaction.
+
+    An OCaml reproduction of {e Bui, Heigham, Jones & Leighton,
+    "Improving the Performance of the Kernighan-Lin and Simulated
+    Annealing Graph Bisection Algorithms", DAC 1989}.
+
+    This is the single entry point: it re-exports every sub-library
+    under a stable name and offers a one-call {!solve}. Typical use:
+
+    {[
+      let rng = Gbisect.Rng.create ~seed:42 in
+      let g = Gbisect.Classic.grid ~rows:30 ~cols:30 in
+      let result = Gbisect.solve ~algorithm:`Ckl rng g in
+      Format.printf "%a@." Gbisect.Bisection.pp result.bisection
+    ]} *)
+
+(** {1 Substrates} *)
+
+module Rng = Gb_prng.Rng
+module Lfg = Gb_prng.Lfg
+module Graph = Gb_graph.Csr
+module Builder = Gb_graph.Builder
+module Classic = Gb_graph.Classic
+module Traverse = Gb_graph.Traverse
+module Graph_io = Gb_graph.Gio
+module Matching = Gb_graph.Matching
+module Subgraph = Gb_graph.Subgraph
+module Contraction = Gb_graph.Contraction
+module Product = Gb_graph.Product
+
+(** {1 Random graph models (paper §IV)} *)
+
+module Gnp = Gb_models.Gnp
+module Planted = Gb_models.Planted
+module Bregular = Gb_models.Bregular
+module Degree_seq = Gb_models.Degree_seq
+module Geometric = Gb_models.Geometric
+module Small_world = Gb_models.Small_world
+
+(** {1 Partitions} *)
+
+module Bisection = Gb_partition.Bisection
+module Initial = Gb_partition.Initial
+module Exact = Gb_partition.Exact
+module Spectral = Gb_partition.Spectral
+module Cycles = Gb_partition.Cycles
+module Metrics = Gb_partition.Metrics
+module Tree_exact = Gb_partition.Tree_exact
+
+(** {1 Algorithms} *)
+
+module Kl = Gb_kl.Kl
+module Fm = Gb_kl.Fm
+module Gain_buckets = Gb_kl.Gain_buckets
+module Sa = Gb_anneal.Sa
+module Schedule = Gb_anneal.Schedule
+module Sa_bisect = Gb_anneal.Sa_bisect
+module Threshold = Gb_anneal.Threshold
+module Compaction = Gb_compaction.Compaction
+module Kway = Gb_compaction.Kway
+
+
+(** {1 Hypergraphs (VLSI netlists; extension)} *)
+
+module Hgraph = Gb_hyper.Hgraph
+module Hfm = Gb_hyper.Hfm
+module Expansion = Gb_hyper.Expansion
+module Netlist_io = Gb_hyper.Netlist_io
+module Random_netlist = Gb_hyper.Random_netlist
+module Hcoarsen = Gb_hyper.Hcoarsen
+module Placement = Gb_hyper.Placement
+module Hsa = Gb_hyper.Hsa
+
+(** {1 Experiment harness (paper §VI)} *)
+
+module Profile = Gb_experiments.Profile
+module Runner = Gb_experiments.Runner
+module Registry = Gb_experiments.Registry
+module Experiment_table = Gb_experiments.Table
+
+(** {1 One-call interface} *)
+
+type algorithm =
+  [ `Kl  (** Kernighan-Lin *)
+  | `Sa  (** simulated annealing *)
+  | `Ckl  (** compacted KL — the paper's winner on sparse graphs *)
+  | `Csa  (** compacted SA *)
+  | `Fm  (** Fiduccia-Mattheyses (extension) *)
+  | `Multilevel  (** recursive compaction over KL (extension) *) ]
+
+val algorithm_name : algorithm -> string
+
+type result = {
+  bisection : Gb_partition.Bisection.t;
+  algorithm : algorithm;
+  seconds : float;  (** Wall-clock time of the solve call. *)
+}
+
+val solve :
+  ?algorithm:algorithm ->
+  ?starts:int ->
+  Gb_prng.Rng.t ->
+  Gb_graph.Csr.t ->
+  result
+(** [solve rng g] bisects [g], keeping the best of [starts] (default 2,
+    the paper's protocol) runs of [algorithm] (default [`Ckl] — the
+    paper's recommendation for graphs of average degree <= 4, and a
+    sound default everywhere: compaction never hurt quality in its
+    experiments). *)

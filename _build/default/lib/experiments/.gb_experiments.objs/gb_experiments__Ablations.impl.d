@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Gb_compaction Gb_kl Gb_models Gb_partition Gb_prng List Printf Profile Table Unix

@@ -1,0 +1,1 @@
+lib/experiments/baselines.mli: Profile

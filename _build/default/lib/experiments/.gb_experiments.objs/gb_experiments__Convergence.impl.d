@@ -1,0 +1,1 @@
+lib/experiments/convergence.ml: Ascii_chart Gb_anneal Gb_compaction Gb_graph Gb_kl Gb_models Gb_partition Gb_prng List Printf Profile

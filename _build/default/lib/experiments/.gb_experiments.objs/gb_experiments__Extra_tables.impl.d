@@ -1,0 +1,1 @@
+lib/experiments/extra_tables.ml: Array Gb_anneal Gb_compaction Gb_hyper Gb_kl Gb_models Gb_partition Gb_prng List Printf Profile Table Unix

@@ -1,0 +1,1 @@
+lib/experiments/extra_tables.mli: Profile

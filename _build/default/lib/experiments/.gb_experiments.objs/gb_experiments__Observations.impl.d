@@ -1,0 +1,1 @@
+lib/experiments/observations.ml: Gb_graph Gb_models Gb_prng List Paper_table Printf Profile Runner Table

@@ -1,0 +1,1 @@
+lib/experiments/paper_table.ml: Gb_graph Gb_prng List Printf Profile Runner Table

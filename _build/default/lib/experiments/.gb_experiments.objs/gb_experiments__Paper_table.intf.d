@@ -1,0 +1,1 @@
+lib/experiments/paper_table.mli: Gb_graph Gb_prng Profile Runner

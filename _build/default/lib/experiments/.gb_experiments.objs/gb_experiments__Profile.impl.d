@@ -1,0 +1,1 @@
+lib/experiments/profile.ml: Gb_anneal Gb_kl

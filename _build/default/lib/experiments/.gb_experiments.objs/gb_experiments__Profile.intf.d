@@ -1,0 +1,1 @@
+lib/experiments/profile.mli: Gb_anneal Gb_kl

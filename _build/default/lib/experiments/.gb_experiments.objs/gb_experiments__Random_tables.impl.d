@@ -1,0 +1,1 @@
+lib/experiments/random_tables.ml: Gb_models Gb_prng List Paper_table Printf Profile

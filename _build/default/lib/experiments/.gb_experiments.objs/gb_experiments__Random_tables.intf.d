@@ -1,0 +1,1 @@
+lib/experiments/random_tables.mli: Profile

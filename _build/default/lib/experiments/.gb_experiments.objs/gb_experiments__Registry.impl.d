@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Baselines Convergence Extra_tables List Observations Profile Random_tables Sign_test Specials

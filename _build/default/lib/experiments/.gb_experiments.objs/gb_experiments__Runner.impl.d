@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Float Gb_anneal Gb_compaction Gb_graph Gb_kl Gb_partition Gb_prng List Profile String Table Unix

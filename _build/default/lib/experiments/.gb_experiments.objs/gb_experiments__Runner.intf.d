@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Gb_graph Gb_prng Profile

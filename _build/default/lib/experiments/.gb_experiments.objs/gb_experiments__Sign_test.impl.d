@@ -1,0 +1,1 @@
+lib/experiments/sign_test.ml: Float Format Gb_models Gb_prng Hashtbl List Printf Profile Runner Table

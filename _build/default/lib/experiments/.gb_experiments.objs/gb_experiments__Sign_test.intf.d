@@ -1,0 +1,1 @@
+lib/experiments/sign_test.mli: Format Profile

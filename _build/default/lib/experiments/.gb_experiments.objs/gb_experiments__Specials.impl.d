@@ -1,0 +1,1 @@
+lib/experiments/specials.ml: Float Gb_graph List Paper_table Printf Profile Runner Table

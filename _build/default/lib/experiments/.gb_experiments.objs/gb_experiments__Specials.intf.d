@@ -1,0 +1,1 @@
+lib/experiments/specials.mli: Paper_table Profile

@@ -1,0 +1,9 @@
+(** Extra baseline: spectral bisection (E-X3, ours).
+
+    Boppana (1987) showed spectral methods recover planted bisections
+    of exactly the paper's §IV models; this table puts the Fiedler
+    split (raw, and with one KL refinement) next to KL and CKL on the
+    [Gbreg] corpus, quantifying how much of compaction's advantage the
+    eigenvector already buys. *)
+
+val spectral_table : Profile.t -> string

@@ -1,0 +1,19 @@
+(** Convergence figures: the dynamics behind the tables.
+
+    Three figures, rendered as ASCII charts:
+
+    + {b KL cut vs pass} on a sparse planted instance, from a random
+      start and from a compacted start — shows why CKL converges in
+      fewer passes (the paper's Observation 2 speed claim);
+    + {b SA best cost vs temperature index} on the same instance —
+      Figure 1's "gross features appear at high temperature, details at
+      low" made visible, including the long cold tail §VII complains
+      about;
+    + {b multilevel cut by level}: projected-then-refined cut at each
+      uncoarsening level of recursive compaction. *)
+
+val kl_passes : Profile.t -> string
+val sa_temperatures : Profile.t -> string
+val multilevel_levels : Profile.t -> string
+val figures : Profile.t -> string
+(** All three, concatenated (the registry's "figures" experiment). *)

@@ -1,0 +1,13 @@
+(** Extension experiments beyond the paper's evaluation.
+
+    - {!netlist_table} (E-X4): on clustered random netlists, compare
+      optimising the true net-cut (hypergraph FM) against the classical
+      workaround — expand the netlist to a graph (clique or star) and
+      run the paper's algorithms. All columns report the {e true} net
+      cut of the produced cell assignment.
+    - {!geometric_table} (E-X5): random geometric graphs [U(2n, r)] —
+      the other benchmark family of the JAMS study the paper builds
+      on — with the geometric strip cut as a visible yardstick. *)
+
+val netlist_table : Profile.t -> string
+val geometric_table : Profile.t -> string

@@ -1,0 +1,23 @@
+(** Benches for the paper's five narrative Observations (§VI).
+
+    Each returns a rendered table whose shape — not absolute numbers —
+    is the claim under reproduction:
+
+    - {!degree_sweep} (Obs 1): on [Gbreg] graphs, solution quality and
+      speed improve as the regular degree grows from 3 to 6; at degree
+      >= 4 the planted width is found.
+    - {!compaction_sweep} (Obs 2): compaction's relative improvement on
+      degree-3 graphs grows with instance size, and CKL is not slower
+      than KL.
+    - {!kl_vs_sa} (Obs 4/5): head-to-head quality and time of all four
+      algorithms over a mixed corpus, with per-family win counts —
+      including the tree/ladder rows where the paper saw SA ahead. *)
+
+val degree_sweep : Profile.t -> string
+(** E-O1. *)
+
+val compaction_sweep : Profile.t -> string
+(** E-O2. *)
+
+val kl_vs_sa : Profile.t -> string
+(** E-O4. *)

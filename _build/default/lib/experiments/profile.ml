@@ -1,0 +1,51 @@
+type t = {
+  name : string;
+  scale : int -> int;
+  starts : int;
+  replicates : int;
+  sa_schedule : Gb_anneal.Schedule.t;
+  kl_config : Gb_kl.Kl.config;
+  master_seed : int;
+}
+
+let smoke =
+  {
+    name = "smoke";
+    scale = (fun n -> n / 10);
+    starts = 1;
+    replicates = 1;
+    sa_schedule = Gb_anneal.Schedule.quick;
+    kl_config = Gb_kl.Kl.default_config;
+    master_seed = 19890626; (* DAC'89 *)
+  }
+
+let quick =
+  {
+    smoke with
+    name = "quick";
+    scale = (fun n -> n / 4);
+    starts = 2;
+    replicates = 1;
+    sa_schedule = Gb_anneal.Schedule.default;
+  }
+
+let paper =
+  {
+    quick with
+    name = "paper";
+    scale = (fun n -> n);
+    starts = 2;
+    replicates = 3;
+    sa_schedule = Gb_anneal.Schedule.default;
+  }
+
+let scaled p n =
+  let s = p.scale n in
+  let s = max 16 s in
+  if s land 1 = 1 then s + 1 else s
+
+let by_name = function
+  | "smoke" -> Some smoke
+  | "quick" -> Some quick
+  | "paper" | "full" -> Some paper
+  | _ -> None

@@ -1,0 +1,83 @@
+module Rng = Gb_prng.Rng
+
+let b_sweep = [ 2; 4; 8; 16; 32; 64 ]
+let degree_sweep = [ 2.5; 3.0; 3.5; 4.0 ]
+
+let notes profile =
+  [
+    Printf.sprintf "profile %s: best of %d starts; cuts averaged over replicate graphs"
+      profile.Profile.name profile.Profile.starts;
+  ]
+
+let g2set_table profile ~two_n ~avg_degree =
+  let two_n' = Profile.scaled profile two_n in
+  let rows =
+    List.map
+      (fun b ->
+        {
+          Paper_table.label = Printf.sprintf "b=%d" b;
+          expected = string_of_int b;
+          replicate_factor = 1;
+          make =
+            (fun rng ->
+              let params =
+                Gb_models.Planted.params_for_average_degree ~two_n:two_n' ~avg_degree
+                  ~bis:b
+              in
+              Gb_models.Planted.generate rng params);
+        })
+      b_sweep
+  in
+  Paper_table.run profile
+    ~title:
+      (Printf.sprintf "G2set(%d, pA, pB, b) with average degree %g (paper appendix)" two_n'
+         avg_degree)
+    ~notes:(notes profile)
+    ~seed_tag:(Printf.sprintf "g2set-%d-%g" two_n avg_degree)
+    rows
+
+let gnp_table profile ~two_n =
+  let two_n' = Profile.scaled profile two_n in
+  let rows =
+    List.map
+      (fun avg_degree ->
+        {
+          Paper_table.label = Printf.sprintf "avg deg %g" avg_degree;
+          expected = "";
+          replicate_factor = 7;
+          make = (fun rng -> Gb_models.Gnp.with_average_degree rng ~n:two_n' ~avg_degree);
+        })
+      degree_sweep
+  in
+  Paper_table.run profile
+    ~title:(Printf.sprintf "Gnp(%d, p) (paper appendix; 7 graphs per row)" two_n')
+    ~notes:(notes profile) ~seed_tag:(Printf.sprintf "gnp-%d" two_n) rows
+
+let gbreg_table profile ~two_n ~d =
+  let two_n' = Profile.scaled profile two_n in
+  let rows =
+    List.filter_map
+      (fun b ->
+        let params = Gb_models.Bregular.{ two_n = two_n'; b; d } in
+        let b' = Gb_models.Bregular.nearest_feasible_b params in
+        let params = { params with Gb_models.Bregular.b = b' } in
+        match Gb_models.Bregular.feasible params with
+        | Error _ -> None
+        | Ok () ->
+            Some
+              {
+                Paper_table.label = Printf.sprintf "b=%d" b';
+                expected = string_of_int b';
+                replicate_factor = 3;
+                make = (fun rng -> Gb_models.Bregular.generate rng params);
+              })
+      b_sweep
+  in
+  Paper_table.run profile
+    ~title:
+      (Printf.sprintf "Gbreg(%d, b, %d) (paper appendix; 3 graphs per row)" two_n' d)
+    ~notes:
+      (notes profile
+      @ [ "b values rounded to the parity n*d - b even required by the model" ])
+    ~seed_tag:(Printf.sprintf "gbreg-%d-%d" two_n d)
+    rows

@@ -1,0 +1,27 @@
+(** The random-graph appendix tables (E-A4..A10 at 5000 vertices and
+    their 2000-vertex twins E-A11..A17).
+
+    Parameter reconstruction (the scanned tables' [b] values are
+    unreadable): each planted-model table sweeps the expected bisection
+    width over [b in {2, 4, 8, 16, 32, 64}] — "the bisection widths
+    ranged from a cut size of zero to sqrt(n)-scale" — with [Gbreg]
+    rows rounded to the parity its construction requires. The [Gnp]
+    tables sweep the average degree over {2.5, 3, 3.5, 4} with 7 graphs
+    per row, as the paper footnotes. *)
+
+val b_sweep : int list
+(** [{2; 4; 8; 16; 32; 64}]. *)
+
+val degree_sweep : float list
+(** [{2.5; 3.0; 3.5; 4.0}]. *)
+
+val g2set_table : Profile.t -> two_n:int -> avg_degree:float -> string
+(** E-A4..A7 / E-A11..A14: planted model at a fixed average degree,
+    sweeping [b]. *)
+
+val gnp_table : Profile.t -> two_n:int -> string
+(** E-A8 / E-A15: [Gnp] sweeping average degree, 7 graphs per row. *)
+
+val gbreg_table : Profile.t -> two_n:int -> d:int -> string
+(** E-A9, E-A10 / E-A16, E-A17: [Gbreg] at degree [d], sweeping [b],
+    3 graphs per row. *)

@@ -1,0 +1,20 @@
+(** The experiment registry: every table and figure of the paper's
+    evaluation, addressable by the ids DESIGN.md assigns.
+
+    [bench/main.exe] and the CLI's [table] subcommand dispatch through
+    this list; running everything in order regenerates the whole
+    evaluation section. *)
+
+type experiment = {
+  id : string;  (** e.g. ["table1"], ["gbreg-5000-d3"], ["obs1"]. *)
+  paper_ref : string;  (** Which table/figure/observation it reproduces. *)
+  description : string;
+  run : Profile.t -> string;  (** Returns the rendered table. *)
+}
+
+val all : experiment list
+(** In presentation order: Table 1, specials, 5000-vertex tables,
+    2000-vertex tables, observations, ablations. *)
+
+val find : string -> experiment option
+val ids : unit -> string list

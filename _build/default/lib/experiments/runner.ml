@@ -1,0 +1,98 @@
+module Rng = Gb_prng.Rng
+module Csr = Gb_graph.Csr
+module Bisection = Gb_partition.Bisection
+
+type algorithm = Sa | Csa | Kl | Ckl | Fm | Multilevel_kl
+
+let name = function
+  | Sa -> "SA"
+  | Csa -> "CSA"
+  | Kl -> "KL"
+  | Ckl -> "CKL"
+  | Fm -> "FM"
+  | Multilevel_kl -> "MLKL"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "sa" -> Some Sa
+  | "csa" -> Some Csa
+  | "kl" -> Some Kl
+  | "ckl" -> Some Ckl
+  | "fm" -> Some Fm
+  | "mlkl" | "multilevel" -> Some Multilevel_kl
+  | _ -> None
+
+let paper_four = [ Sa; Csa; Kl; Ckl ]
+
+type run = { cut : int; seconds : float; balanced : bool }
+
+let sa_config (profile : Profile.t) =
+  { Gb_anneal.Sa_bisect.default_config with schedule = profile.Profile.sa_schedule }
+
+let run_once profile rng algorithm g =
+  let t0 = Unix.gettimeofday () in
+  let bisection =
+    match algorithm with
+    | Sa -> fst (Gb_anneal.Sa_bisect.run ~config:(sa_config profile) rng g)
+    | Csa -> fst (Gb_compaction.Compaction.csa ~config:(sa_config profile) rng g)
+    | Kl -> fst (Gb_kl.Kl.run ~config:profile.Profile.kl_config rng g)
+    | Ckl -> fst (Gb_compaction.Compaction.ckl ~config:profile.Profile.kl_config rng g)
+    | Fm -> fst (Gb_kl.Fm.run rng g)
+    | Multilevel_kl ->
+        fst
+          (Gb_compaction.Compaction.recursive
+             ~refiner:
+               (Gb_compaction.Compaction.kl_refiner ~config:profile.Profile.kl_config ())
+             rng g)
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  { cut = Bisection.cut bisection; seconds; balanced = Bisection.is_balanced bisection }
+
+let best_of_starts profile rng algorithm g =
+  let starts = max 1 profile.Profile.starts in
+  let rec loop i acc =
+    if i = starts then acc
+    else begin
+      let r = run_once profile rng algorithm g in
+      let acc =
+        {
+          cut = min acc.cut r.cut;
+          seconds = acc.seconds +. r.seconds;
+          balanced = acc.balanced && r.balanced;
+        }
+      in
+      loop (i + 1) acc
+    end
+  in
+  let first = run_once profile rng algorithm g in
+  loop 1 first
+
+type quad = { bsa : run; bcsa : run; bkl : run; bckl : run }
+
+let paper_quad profile rng g =
+  let bsa = best_of_starts profile rng Sa g in
+  let bcsa = best_of_starts profile rng Csa g in
+  let bkl = best_of_starts profile rng Kl g in
+  let bckl = best_of_starts profile rng Ckl g in
+  { bsa; bcsa; bkl; bckl }
+
+let averaged_quads quads =
+  match quads with
+  | [] -> invalid_arg "Runner.averaged_quads: empty"
+  | _ ->
+      let avg field_cut field_sec field_bal =
+        let n = float_of_int (List.length quads) in
+        let cuts = List.map (fun q -> float_of_int (field_cut q)) quads in
+        let secs = List.map field_sec quads in
+        {
+          cut = int_of_float (Float.round (Table.mean cuts));
+          seconds = List.fold_left ( +. ) 0. secs /. n;
+          balanced = List.for_all field_bal quads;
+        }
+      in
+      {
+        bsa = avg (fun q -> q.bsa.cut) (fun q -> q.bsa.seconds) (fun q -> q.bsa.balanced);
+        bcsa = avg (fun q -> q.bcsa.cut) (fun q -> q.bcsa.seconds) (fun q -> q.bcsa.balanced);
+        bkl = avg (fun q -> q.bkl.cut) (fun q -> q.bkl.seconds) (fun q -> q.bkl.balanced);
+        bckl = avg (fun q -> q.bckl.cut) (fun q -> q.bckl.seconds) (fun q -> q.bckl.balanced);
+      }

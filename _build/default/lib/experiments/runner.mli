@@ -1,0 +1,42 @@
+(** Running algorithms under the paper's measurement protocol.
+
+    Protocol (paper §VI): each procedure is run "from two different
+    randomly generated initial bisections"; the reported cut is the
+    {e best} of the two trials and the reported time is the {e total}
+    over both (including initial-bisection generation). {!best_of_starts}
+    implements exactly that, with the start count taken from the
+    profile. *)
+
+type algorithm =
+  | Sa  (** simulated annealing *)
+  | Csa  (** compacted simulated annealing *)
+  | Kl  (** Kernighan-Lin *)
+  | Ckl  (** compacted Kernighan-Lin *)
+  | Fm  (** Fiduccia-Mattheyses (extension) *)
+  | Multilevel_kl  (** recursive compaction over KL (extension) *)
+
+val name : algorithm -> string
+val of_name : string -> algorithm option
+val paper_four : algorithm list
+(** [\[Sa; Csa; Kl; Ckl\]] — the paper's column order. *)
+
+type run = {
+  cut : int;
+  seconds : float;
+  balanced : bool;  (** Sanity flag; always [true] for correct algorithms. *)
+}
+
+val run_once : Profile.t -> Gb_prng.Rng.t -> algorithm -> Gb_graph.Csr.t -> run
+(** One run from one fresh random start, wall-clock timed. *)
+
+val best_of_starts : Profile.t -> Gb_prng.Rng.t -> algorithm -> Gb_graph.Csr.t -> run
+(** Best cut over [profile.starts] runs; seconds are summed. *)
+
+type quad = { bsa : run; bcsa : run; bkl : run; bckl : run }
+
+val paper_quad : Profile.t -> Gb_prng.Rng.t -> Gb_graph.Csr.t -> quad
+(** {!best_of_starts} for the paper's four algorithms on one graph. *)
+
+val averaged_quads : quad list -> quad
+(** Column-wise means (cuts rounded to nearest int) — how the paper
+    averages its 3-seed [Gbreg] and 7-seed [Gnp] rows. *)

@@ -1,0 +1,34 @@
+(** Win-rate statistics for algorithm comparisons.
+
+    Observation 4 contains the paper's only quantified quality claim:
+    on degree 2.5-3.5 graphs, "when a noticeable difference was
+    observed ... the Kernighan-Lin procedure had the better bisection
+    {e sixty percent} of the time". Reproducing that needs more than a
+    mean — it needs paired win counts and a significance check, which
+    is what this module provides (a plain sign test: ties are dropped,
+    and the two-sided binomial tail under p = 1/2 is reported). *)
+
+type t = {
+  wins_a : int;
+  wins_b : int;
+  ties : int;
+  win_rate_a : float;  (** [wins_a / (wins_a + wins_b)]; 0.5 when no decisions. *)
+  p_value : float;
+      (** Two-sided exact binomial sign-test p-value; 1.0 when there
+          are no decisive pairs. *)
+}
+
+val of_pairs : (int * int) list -> t
+(** [of_pairs [(a1, b1); ...]] — paired scores where {e smaller is
+    better} (cut sizes). *)
+
+val binomial_two_sided : n:int -> k:int -> float
+(** Exact two-sided tail probability of [k] successes in [n] fair coin
+    flips (min(1, 2 * min-tail)). Exposed for the tests. *)
+
+val pp : Format.formatter -> t -> unit
+
+val obs4_sign_table : Profile.t -> string
+(** Experiment "obs4-signtest": paired KL-vs-SA and CKL-vs-CSA
+    decisions over a corpus of degree 2.5-3.5 planted graphs, with the
+    paper's 60% figure as the reference point. *)

@@ -1,0 +1,106 @@
+module Classic = Gb_graph.Classic
+
+(* Paper ladder tables list node counts up to ~5000; we use 2 x k
+   ladders. Optimal bisection width is 2 (one cut between rungs ...
+   actually 1 when cutting the two rails between adjacent rungs? No:
+   cutting a 2 x k ladder into two contiguous halves severs the two
+   rails, cut = 2). *)
+let ladder_sizes = [ 600; 1200; 2400; 3600; 5000 ]
+let grid_sides = [ 16; 24; 32; 48; 70 ]
+let tree_depths = [ 8; 9; 10; 11; 12 ]
+
+let ladder_rows profile =
+  List.map
+    (fun nodes ->
+      let k = Profile.scaled profile nodes / 2 in
+      {
+        Paper_table.label = Printf.sprintf "ladder 2x%d" k;
+        expected = "2";
+        replicate_factor = 3;
+        make = (fun _rng -> Classic.ladder k);
+      })
+    ladder_sizes
+
+let grid_rows profile =
+  List.map
+    (fun side ->
+      let side' =
+        let target = Profile.scaled profile (side * side) in
+        max 4 (int_of_float (Float.round (sqrt (float_of_int target))))
+      in
+      {
+        Paper_table.label = Printf.sprintf "grid %dx%d" side' side';
+        expected = string_of_int side';
+        replicate_factor = 3;
+        make = (fun _rng -> Classic.grid_of_side side');
+      })
+    grid_sides
+
+let tree_rows profile =
+  List.map
+    (fun depth ->
+      let nodes d = (1 lsl (d + 1)) - 1 in
+      let depth' =
+        (* Largest depth whose size fits the scaled target. *)
+        let target = Profile.scaled profile (nodes depth) in
+        let rec fit d = if d <= 3 || nodes d <= target then d else fit (d - 1) in
+        fit depth
+      in
+      {
+        Paper_table.label = Printf.sprintf "btree %d" (nodes depth');
+        expected = "1";
+        replicate_factor = 3;
+        make = (fun _rng -> Classic.binary_tree ~depth:depth');
+      })
+    tree_depths
+
+let notes profile =
+  [
+    Printf.sprintf "profile %s: best of %d random starts per algorithm" profile.Profile.name
+      profile.Profile.starts;
+    "times are wall-clock seconds (paper: VAX 780 CPU minutes)";
+  ]
+
+let ladder_table profile =
+  Paper_table.run profile ~title:"Ladder graphs (paper appendix, E-A1)"
+    ~notes:(notes profile) ~seed_tag:"ladder" (ladder_rows profile)
+
+let grid_table profile =
+  Paper_table.run profile ~title:"Grid graphs (paper appendix, E-A2)" ~notes:(notes profile)
+    ~seed_tag:"grid" (grid_rows profile)
+
+let tree_table profile =
+  Paper_table.run profile ~title:"Binary trees (paper appendix, E-A3)"
+    ~notes:(notes profile) ~seed_tag:"tree" (tree_rows profile)
+
+(* Table 1: family-averaged relative improvement of compaction. *)
+let table1 profile =
+  let family name rows seed_tag =
+    let data = Paper_table.collect profile ~seed_tag rows in
+    let imprs quad_of =
+      Table.mean
+        (List.map
+           (fun { Paper_table.quad; _ } ->
+             let base, improved = quad_of quad in
+             Table.improvement_pct
+               ~base:(float_of_int base.Runner.cut)
+               ~improved:(float_of_int improved.Runner.cut))
+           data)
+    in
+    let kl = imprs (fun q -> (q.Runner.bkl, q.Runner.bckl)) in
+    let sa = imprs (fun q -> (q.Runner.bsa, q.Runner.bcsa)) in
+    [ name; Table.pct_cell kl; Table.pct_cell sa ]
+  in
+  let rows =
+    [
+      family "Grid" (grid_rows profile) "grid";
+      family "Ladder" (ladder_rows profile) "ladder";
+      family "Binary Tree" (tree_rows profile) "tree";
+    ]
+  in
+  Table.render
+    ~title:
+      "Table 1. Bisection width improvement made by compaction. Best of two starts (E-T1)"
+    ~notes:(notes profile)
+    ~header:[ "Graph type"; "over KL"; "over SA" ]
+    rows

@@ -1,0 +1,25 @@
+(** The special-graph experiments: Table 1 and the ladder / grid /
+    binary-tree appendix tables (E-T1, E-A1, E-A2, E-A3).
+
+    The paper's specials "ranged in size from 100 to 5,000 vertices";
+    sizes here follow that range through the profile's scale. Known
+    optimal widths (ladder 2, N x N grid N, complete binary tree 1 or
+    2) are printed in the expected-width column. *)
+
+val ladder_rows : Profile.t -> Paper_table.row list
+val grid_rows : Profile.t -> Paper_table.row list
+val tree_rows : Profile.t -> Paper_table.row list
+
+val ladder_table : Profile.t -> string
+(** E-A1. *)
+
+val grid_table : Profile.t -> string
+(** E-A2. *)
+
+val tree_table : Profile.t -> string
+(** E-A3. *)
+
+val table1 : Profile.t -> string
+(** E-T1 — "Bisection width improvement made by compaction. Best of two
+    starts": the average over each family's sizes of the relative cut
+    improvement compaction gives KL and SA. *)

@@ -1,0 +1,81 @@
+type cell = string
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '%' || c = '+')
+       s
+
+let rstrip s =
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = ' ' do
+    decr n
+  done;
+  String.sub s 0 !n
+
+let render ~title ?(notes = []) ~header rows =
+  let ncols = List.length header in
+  let pad_row r =
+    let len = List.length r in
+    if len < ncols then r @ List.init (ncols - len) (fun _ -> "") else r
+  in
+  let rows = List.map pad_row rows in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c))
+    (header :: rows);
+  let pad i c =
+    let w = widths.(i) and l = String.length c in
+    if l >= w then c
+    else if looks_numeric c then String.make (w - l) ' ' ^ c
+    else c ^ String.make (w - l) ' '
+  in
+  let line r = rstrip ("  " ^ String.concat "  " (List.mapi pad r)) ^ "\n" in
+  let sep =
+    "  " ^ String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+    ^ "\n"
+  in
+  let notes_str = String.concat "" (List.map (fun n -> "  note: " ^ n ^ "\n") notes) in
+  title ^ "\n" ^ line header ^ sep ^ String.concat "" (List.map line rows) ^ notes_str
+
+let csv_cell c =
+  let needs_quoting =
+    String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n' || ch = '\r') c
+  in
+  if not needs_quoting then c
+  else begin
+    let buf = Buffer.create (String.length c + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun ch ->
+        if ch = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf ch)
+      c;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_csv ~header rows =
+  let line cells = String.concat "," (List.map csv_cell cells) ^ "\n" in
+  String.concat "" (List.map line (header :: rows))
+
+let int_cell = string_of_int
+let float_cell ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let seconds_cell x = Printf.sprintf "%.3f" x
+let pct_cell x = Printf.sprintf "%.1f%%" x
+
+let improvement_pct ~base ~improved =
+  if base = 0. then 0. else (base -. improved) /. base *. 100.
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+        /. float_of_int (List.length xs - 1)
+      in
+      sqrt var

@@ -1,0 +1,1 @@
+lib/graph/classic.ml: Csr List

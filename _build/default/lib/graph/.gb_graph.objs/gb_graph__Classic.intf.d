@@ -1,0 +1,1 @@
+lib/graph/classic.mli: Csr

@@ -1,0 +1,1 @@
+lib/graph/contraction.ml: Array Csr Hashtbl List Matching Option

@@ -1,0 +1,1 @@
+lib/graph/contraction.mli: Csr Matching

@@ -1,0 +1,1 @@
+lib/graph/gio.ml: Array Buffer Csr Fun List Printf String

@@ -1,0 +1,1 @@
+lib/graph/matching.ml: Array Csr Gb_prng List

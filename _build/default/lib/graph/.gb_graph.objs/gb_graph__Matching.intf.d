@@ -1,0 +1,1 @@
+lib/graph/matching.mli: Csr Gb_prng

@@ -1,0 +1,1 @@
+lib/graph/product.ml: Array Csr Printf

@@ -1,0 +1,50 @@
+type t = {
+  n : int;
+  edges : ((int * int), int) Hashtbl.t; (* key (u, v) with u < v; value weight *)
+  vwgt : int array;
+}
+
+let create ?(expected_edges = 64) n =
+  if n < 0 then invalid_arg "Builder.create";
+  { n; edges = Hashtbl.create (2 * expected_edges + 1); vwgt = Array.make n 1 }
+
+let n_vertices b = b.n
+let n_edges b = Hashtbl.length b.edges
+
+let key u v = if u < v then (u, v) else (v, u)
+
+let check_endpoints b u v =
+  if u < 0 || u >= b.n || v < 0 || v >= b.n then
+    invalid_arg "Builder: endpoint out of range"
+
+let add_edge ?(weight = 1) b u v =
+  check_endpoints b u v;
+  if u = v then invalid_arg "Builder.add_edge: self-loop";
+  if weight <= 0 then invalid_arg "Builder.add_edge: non-positive weight";
+  let k = key u v in
+  Hashtbl.replace b.edges k (weight + Option.value ~default:0 (Hashtbl.find_opt b.edges k))
+
+let add_edge_if_absent b u v =
+  check_endpoints b u v;
+  if u = v then false
+  else begin
+    let k = key u v in
+    if Hashtbl.mem b.edges k then false
+    else begin
+      Hashtbl.replace b.edges k 1;
+      true
+    end
+  end
+
+let mem_edge b u v =
+  check_endpoints b u v;
+  u <> v && Hashtbl.mem b.edges (key u v)
+
+let set_vertex_weight b u w =
+  if u < 0 || u >= b.n then invalid_arg "Builder.set_vertex_weight: out of range";
+  if w <= 0 then invalid_arg "Builder.set_vertex_weight: non-positive weight";
+  b.vwgt.(u) <- w
+
+let build b =
+  let edge_list = Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) b.edges [] in
+  Csr.of_edges ~vertex_weights:(Array.copy b.vwgt) ~n:b.n edge_list

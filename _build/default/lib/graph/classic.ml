@@ -1,0 +1,209 @@
+let require cond name = if not cond then invalid_arg ("Classic." ^ name)
+
+let path n =
+  require (n >= 1) "path";
+  Csr.of_unweighted_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  require (n >= 3) "cycle";
+  Csr.of_unweighted_edges ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let complete n =
+  require (n >= 1) "complete";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Csr.of_unweighted_edges ~n !edges
+
+let complete_bipartite a b =
+  require (a >= 1 && b >= 1) "complete_bipartite";
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Csr.of_unweighted_edges ~n:(a + b) !edges
+
+let star n =
+  require (n >= 1) "star";
+  Csr.of_unweighted_edges ~n:(n + 1) (List.init n (fun i -> (0, i + 1)))
+
+let wheel n =
+  require (n >= 3) "wheel";
+  let rim = List.init n (fun i -> (i, (i + 1) mod n)) in
+  let spokes = List.init n (fun i -> (i, n)) in
+  Csr.of_unweighted_edges ~n:(n + 1) (rim @ spokes)
+
+let grid ~rows ~cols =
+  require (rows >= 1 && cols >= 1) "grid";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Csr.of_unweighted_edges ~n:(rows * cols) !edges
+
+let torus ~rows ~cols =
+  require (rows >= 3 && cols >= 3) "torus";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := (id r c, id r ((c + 1) mod cols)) :: !edges;
+      edges := (id r c, id ((r + 1) mod rows) c) :: !edges
+    done
+  done;
+  Csr.of_unweighted_edges ~n:(rows * cols) !edges
+
+let ladder k =
+  require (k >= 1) "ladder";
+  grid ~rows:2 ~cols:k
+
+let circular_ladder k =
+  require (k >= 3) "circular_ladder";
+  let edges = ref [] in
+  for i = 0 to k - 1 do
+    let j = (i + 1) mod k in
+    edges := (i, j) :: (k + i, k + j) :: (i, k + i) :: !edges
+  done;
+  Csr.of_unweighted_edges ~n:(2 * k) !edges
+
+let kary_tree ~arity ~depth =
+  require (arity >= 1 && depth >= 0) "kary_tree";
+  (* Vertices in BFS order; children of i are arity*i + 1 .. arity*i + arity. *)
+  let rec count d acc pow = if d < 0 then acc else count (d - 1) (acc + pow) (pow * arity) in
+  let n = count depth 0 1 in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for c = 1 to arity do
+      let child = (arity * i) + c in
+      if child < n then edges := (i, child) :: !edges
+    done
+  done;
+  Csr.of_unweighted_edges ~n !edges
+
+let binary_tree ~depth = kary_tree ~arity:2 ~depth
+
+let hypercube d =
+  require (d >= 0 && d <= 20) "hypercube";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let v = u lxor (1 lsl b) in
+      if u < v then edges := (u, v) :: !edges
+    done
+  done;
+  Csr.of_unweighted_edges ~n !edges
+
+let petersen () =
+  (* Outer 5-cycle 0..4, inner pentagram 5..9, spokes i - i+5. *)
+  let outer = List.init 5 (fun i -> (i, (i + 1) mod 5)) in
+  let inner = List.init 5 (fun i -> (5 + i, 5 + ((i + 2) mod 5))) in
+  let spokes = List.init 5 (fun i -> (i, i + 5)) in
+  Csr.of_unweighted_edges ~n:10 (outer @ inner @ spokes)
+
+let disjoint_cycles ~count ~len =
+  require (count >= 1 && len >= 3) "disjoint_cycles";
+  let edges = ref [] in
+  for c = 0 to count - 1 do
+    let base = c * len in
+    for i = 0 to len - 1 do
+      edges := (base + i, base + ((i + 1) mod len)) :: !edges
+    done
+  done;
+  Csr.of_unweighted_edges ~n:(count * len) !edges
+
+let grid_of_side n = grid ~rows:n ~cols:n
+
+let grid3d ~x ~y ~z =
+  require (x >= 1 && y >= 1 && z >= 1) "grid3d";
+  let id i j k = (((i * y) + j) * z) + k in
+  let edges = ref [] in
+  for i = 0 to x - 1 do
+    for j = 0 to y - 1 do
+      for k = 0 to z - 1 do
+        if i + 1 < x then edges := (id i j k, id (i + 1) j k) :: !edges;
+        if j + 1 < y then edges := (id i j k, id i (j + 1) k) :: !edges;
+        if k + 1 < z then edges := (id i j k, id i j (k + 1)) :: !edges
+      done
+    done
+  done;
+  Csr.of_unweighted_edges ~n:(x * y * z) !edges
+
+let barbell m =
+  require (m >= 2) "barbell";
+  let edges = ref [ (0, m) ] in
+  for u = 0 to m - 1 do
+    for v = u + 1 to m - 1 do
+      edges := (u, v) :: (m + u, m + v) :: !edges
+    done
+  done;
+  Csr.of_unweighted_edges ~n:(2 * m) !edges
+
+let caterpillar ~spine ~legs =
+  require (spine >= 1 && legs >= 0) "caterpillar";
+  let edges = ref [] in
+  for s = 0 to spine - 2 do
+    edges := (s, s + 1) :: !edges
+  done;
+  for s = 0 to spine - 1 do
+    for l = 0 to legs - 1 do
+      edges := (s, spine + (s * legs) + l) :: !edges
+    done
+  done;
+  Csr.of_unweighted_edges ~n:(spine * (legs + 1)) !edges
+
+let cycle_power n k =
+  require (n >= 3 && k >= 1 && 2 * k < n) "cycle_power";
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for d = 1 to k do
+      edges := (v, (v + d) mod n) :: !edges
+    done
+  done;
+  Csr.of_unweighted_edges ~n !edges
+
+let complete_multipartite sizes =
+  require (sizes <> [] && List.for_all (fun s -> s >= 1) sizes) "complete_multipartite";
+  let offsets =
+    let acc = ref 0 in
+    List.map
+      (fun s ->
+        let o = !acc in
+        acc := !acc + s;
+        (o, s))
+      sizes
+  in
+  let n = List.fold_left ( + ) 0 sizes in
+  let edges = ref [] in
+  List.iteri
+    (fun i (oi, si) ->
+      List.iteri
+        (fun j (oj, sj) ->
+          if j > i then
+            for a = oi to oi + si - 1 do
+              for b = oj to oj + sj - 1 do
+                edges := (a, b) :: !edges
+              done
+            done)
+        offsets)
+    offsets;
+  Csr.of_unweighted_edges ~n !edges
+
+let crown n =
+  require (n >= 2) "crown";
+  let edges = ref [] in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b then edges := (a, n + b) :: !edges
+    done
+  done;
+  Csr.of_unweighted_edges ~n:(2 * n) !edges

@@ -1,0 +1,97 @@
+(** Deterministic families of structured graphs.
+
+    These are the "special graphs" of the paper's evaluation (grid,
+    ladder, binary tree — Table 1 and the appendix) together with the
+    usual suspects used in tests as oracles with known bisection widths:
+
+    - a path of [2k] vertices has bisection width 1;
+    - a cycle has bisection width 2;
+    - an [r x c] grid cut across the short side has width [min r c];
+    - a ladder (2 x k grid) has width 2 (cut between two rungs);
+    - a complete graph K_{2n} has width n^2.
+
+    All constructors return unit-weighted graphs and raise
+    [Invalid_argument] on non-positive size parameters. *)
+
+val path : int -> Csr.t
+(** [path n]: vertices [0..n-1], edges [i - i+1]. *)
+
+val cycle : int -> Csr.t
+(** [cycle n] for [n >= 3]. *)
+
+val complete : int -> Csr.t
+(** [complete n] = K_n. *)
+
+val complete_bipartite : int -> int -> Csr.t
+(** [complete_bipartite a b] = K_{a,b}; the left class is [0..a-1]. *)
+
+val star : int -> Csr.t
+(** [star n]: centre [0] joined to [n] leaves ([n+1] vertices). *)
+
+val wheel : int -> Csr.t
+(** [wheel n]: a cycle of [n >= 3] rim vertices plus a hub. *)
+
+val grid : rows:int -> cols:int -> Csr.t
+(** [grid ~rows ~cols]: 4-connected mesh; vertex [(r, c)] has id
+    [r * cols + c]. *)
+
+val torus : rows:int -> cols:int -> Csr.t
+(** [grid] with wrap-around rows and columns ([rows, cols >= 3]). *)
+
+val ladder : int -> Csr.t
+(** [ladder k]: the 2 x k grid ([2k] vertices, [3k - 2] edges), the
+    classical KL failure case (Fig. 3 of the paper). *)
+
+val circular_ladder : int -> Csr.t
+(** [circular_ladder k]: the prism graph C_k x K_2 ([k >= 3]). *)
+
+val binary_tree : depth:int -> Csr.t
+(** [binary_tree ~depth]: the complete binary tree with
+    [2^(depth+1) - 1] vertices; root is vertex [0], children of [i] are
+    [2i + 1] and [2i + 2]. [depth >= 0]. *)
+
+val kary_tree : arity:int -> depth:int -> Csr.t
+(** Complete [arity]-ary tree of the given depth ([arity >= 1]). *)
+
+val hypercube : int -> Csr.t
+(** [hypercube d]: the d-dimensional cube on [2^d] vertices
+    ([0 <= d <= 20]); bisection width [2^(d-1)]. *)
+
+val petersen : unit -> Csr.t
+(** The Petersen graph (10 vertices, 3-regular, bisection width 5). *)
+
+val disjoint_cycles : count:int -> len:int -> Csr.t
+(** [disjoint_cycles ~count ~len]: [count] disjoint cycles of length
+    [len >= 3] — the degree-2 regular graphs the paper notes arise from
+    [Gbreg(2n, b, 2)] ("a collection of cordless cycles"). *)
+
+val grid_of_side : int -> Csr.t
+(** [grid_of_side n] = [grid ~rows:n ~cols:n] (the paper's "N x N grid"). *)
+
+val grid3d : x:int -> y:int -> z:int -> Csr.t
+(** 6-connected 3-D mesh; vertex [(i,j,k)] has id [(i*y + j)*z + k].
+    Bisection width of a cube cut across the smallest face is that
+    face's area. *)
+
+val barbell : int -> Csr.t
+(** [barbell m]: two [K_m] joined by a single edge ([2m] vertices) —
+    bisection width 1, a classic easy-but-deceptive instance for local
+    search ([m >= 2]). *)
+
+val caterpillar : spine:int -> legs:int -> Csr.t
+(** A path of [spine] vertices, each carrying [legs] pendant leaves
+    ([spine * (legs + 1)] vertices). Trees with maximal 'bushiness' —
+    bisection width 1 when [spine] is even. *)
+
+val cycle_power : int -> int -> Csr.t
+(** [cycle_power n k]: the k-th power of [C_n] — each vertex joined to
+    its [k] nearest neighbours both ways ([2k]-regular, width [~2k] for
+    a contiguous split; [1 <= k < n / 2]). *)
+
+val complete_multipartite : int list -> Csr.t
+(** [complete_multipartite [s1; s2; ...]]: vertices in classes of the
+    given sizes, edges exactly between different classes. *)
+
+val crown : int -> Csr.t
+(** [crown n]: [K_{n,n}] minus a perfect matching ([n >= 2]);
+    (n-1)-regular bipartite. *)

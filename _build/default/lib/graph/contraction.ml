@@ -1,0 +1,50 @@
+type t = {
+  coarse : Csr.t;
+  fine_to_coarse : int array;
+  coarse_to_fine : int array array;
+}
+
+let contract g (m : Matching.t) =
+  let n = Csr.n_vertices g in
+  let fine_to_coarse = Array.make n (-1) in
+  let groups = ref [] in
+  let next = ref 0 in
+  for u = 0 to n - 1 do
+    if fine_to_coarse.(u) < 0 then begin
+      let c = !next in
+      incr next;
+      fine_to_coarse.(u) <- c;
+      let v = m.Matching.mate.(u) in
+      if v >= 0 then begin
+        fine_to_coarse.(v) <- c;
+        groups := [| u; v |] :: !groups
+      end
+      else groups := [| u |] :: !groups
+    end
+  done;
+  let coarse_to_fine = Array.of_list (List.rev !groups) in
+  let n' = !next in
+  (* Accumulate coarse edges; internal (contracted) edges vanish. *)
+  let coarse_edges = Hashtbl.create (2 * Csr.n_edges g + 1) in
+  Csr.iter_edges g (fun u v w ->
+      let cu = fine_to_coarse.(u) and cv = fine_to_coarse.(v) in
+      if cu <> cv then begin
+        let key = if cu < cv then (cu, cv) else (cv, cu) in
+        Hashtbl.replace coarse_edges key
+          (w + Option.value ~default:0 (Hashtbl.find_opt coarse_edges key))
+      end);
+  let vertex_weights =
+    Array.map
+      (fun members -> Array.fold_left (fun acc v -> acc + Csr.vertex_weight g v) 0 members)
+      coarse_to_fine
+  in
+  let edge_list = Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) coarse_edges [] in
+  let coarse = Csr.of_edges ~vertex_weights ~n:n' edge_list in
+  { coarse; fine_to_coarse; coarse_to_fine }
+
+let project_to_fine c assign =
+  Array.map (fun cv -> assign.(cv)) c.fine_to_coarse
+
+let lift_to_coarse c ~f = Array.map f c.coarse_to_fine
+let n_coarse c = Csr.n_vertices c.coarse
+let is_identity c = Array.for_all (fun g -> Array.length g = 1) c.coarse_to_fine

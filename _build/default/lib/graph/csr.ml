@@ -1,0 +1,223 @@
+type t = {
+  n : int;
+  xadj : int array; (* length n+1; adjacency of u is adjncy.(xadj.(u) .. xadj.(u+1)-1) *)
+  adjncy : int array; (* neighbour ids, sorted within each vertex's slice *)
+  adjwgt : int array; (* parallel array of edge weights *)
+  vwgt : int array; (* length n *)
+  m : int; (* undirected edge count *)
+  total_edge_weight : int;
+  total_vertex_weight : int;
+}
+
+let n_vertices g = g.n
+let n_edges g = g.m
+let vertex_weight g u = g.vwgt.(u)
+let total_vertex_weight g = g.total_vertex_weight
+let total_edge_weight g = g.total_edge_weight
+let degree g u = g.xadj.(u + 1) - g.xadj.(u)
+
+let weighted_degree g u =
+  let acc = ref 0 in
+  for k = g.xadj.(u) to g.xadj.(u + 1) - 1 do
+    acc := !acc + g.adjwgt.(k)
+  done;
+  !acc
+
+let iter_neighbors g u f =
+  for k = g.xadj.(u) to g.xadj.(u + 1) - 1 do
+    f g.adjncy.(k) g.adjwgt.(k)
+  done
+
+let fold_neighbors g u ~init ~f =
+  let acc = ref init in
+  for k = g.xadj.(u) to g.xadj.(u + 1) - 1 do
+    acc := f !acc g.adjncy.(k) g.adjwgt.(k)
+  done;
+  !acc
+
+let neighbors g u =
+  Array.init (degree g u) (fun i ->
+      let k = g.xadj.(u) + i in
+      (g.adjncy.(k), g.adjwgt.(k)))
+
+(* Binary search for v in u's sorted slice; returns the adjncy index. *)
+let find_edge g u v =
+  let lo = ref g.xadj.(u) and hi = ref (g.xadj.(u + 1) - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = g.adjncy.(mid) in
+    if w = v then found := mid else if w < v then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let mem_edge g u v = find_edge g u v >= 0
+
+let edge_weight g u v =
+  let k = find_edge g u v in
+  if k < 0 then 0 else g.adjwgt.(k)
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    for k = g.xadj.(u) to g.xadj.(u + 1) - 1 do
+      let v = g.adjncy.(k) in
+      if u < v then f u v g.adjwgt.(k)
+    done
+  done
+
+let fold_edges g ~init ~f =
+  let acc = ref init in
+  iter_edges g (fun u v w -> acc := f !acc u v w);
+  !acc
+
+let edges g = List.rev (fold_edges g ~init:[] ~f:(fun acc u v w -> (u, v, w) :: acc))
+
+let max_degree g =
+  let d = ref 0 in
+  for u = 0 to g.n - 1 do
+    if degree g u > !d then d := degree g u
+  done;
+  !d
+
+let min_degree g =
+  if g.n = 0 then 0
+  else begin
+    let d = ref max_int in
+    for u = 0 to g.n - 1 do
+      if degree g u < !d then d := degree g u
+    done;
+    !d
+  end
+
+let average_degree g = if g.n = 0 then 0. else 2. *. float_of_int g.m /. float_of_int g.n
+
+let is_regular g =
+  g.n = 0
+  ||
+  let d = degree g 0 in
+  let rec loop u = u >= g.n || (degree g u = d && loop (u + 1)) in
+  loop 1
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  for u = 0 to g.n - 1 do
+    let d = degree g u in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let is_unit_weighted g =
+  Array.for_all (fun w -> w = 1) g.vwgt && Array.for_all (fun w -> w = 1) g.adjwgt
+
+let equal a b =
+  a.n = b.n && a.xadj = b.xadj && a.adjncy = b.adjncy && a.adjwgt = b.adjwgt
+  && a.vwgt = b.vwgt
+
+let check g =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  if Array.length g.xadj <> g.n + 1 then fail "xadj length";
+  if g.xadj.(0) <> 0 then fail "xadj.(0) <> 0";
+  if g.xadj.(g.n) <> Array.length g.adjncy then fail "xadj end";
+  if Array.length g.adjwgt <> Array.length g.adjncy then fail "adjwgt length";
+  if Array.length g.vwgt <> g.n then fail "vwgt length";
+  for u = 0 to g.n - 1 do
+    if g.xadj.(u) > g.xadj.(u + 1) then fail "xadj not monotone at %d" u;
+    for k = g.xadj.(u) to g.xadj.(u + 1) - 1 do
+      let v = g.adjncy.(k) in
+      if v < 0 || v >= g.n then fail "neighbour %d of %d out of range" v u;
+      if v = u then fail "self-loop at %d" u;
+      if k > g.xadj.(u) && g.adjncy.(k - 1) >= v then fail "adjacency of %d not strictly sorted" u;
+      if g.adjwgt.(k) <= 0 then fail "non-positive edge weight at %d-%d" u v;
+      if edge_weight g v u <> g.adjwgt.(k) then fail "asymmetric edge %d-%d" u v
+    done
+  done;
+  if Array.exists (fun w -> w <= 0) g.vwgt then fail "non-positive vertex weight";
+  let tvw = Array.fold_left ( + ) 0 g.vwgt in
+  if tvw <> g.total_vertex_weight then fail "total vertex weight";
+  let tew = ref 0 in
+  iter_edges g (fun _ _ w -> tew := !tew + w);
+  if !tew <> g.total_edge_weight then fail "total edge weight";
+  if 2 * g.m <> Array.length g.adjncy then fail "edge count"
+
+let of_edges ?vertex_weights ~n edge_list =
+  if n < 0 then invalid_arg "Csr.of_edges: negative n";
+  let vwgt =
+    match vertex_weights with
+    | None -> Array.make n 1
+    | Some w ->
+        if Array.length w <> n then invalid_arg "Csr.of_edges: vertex_weights length";
+        if Array.exists (fun x -> x <= 0) w then
+          invalid_arg "Csr.of_edges: non-positive vertex weight";
+        Array.copy w
+  in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Csr.of_edges: endpoint out of range";
+      if u = v then invalid_arg "Csr.of_edges: self-loop";
+      if w <= 0 then invalid_arg "Csr.of_edges: non-positive edge weight")
+    edge_list;
+  (* Merge parallel edges via a hash map keyed on the (min,max) pair. *)
+  let merged = Hashtbl.create (2 * List.length edge_list + 1) in
+  List.iter
+    (fun (u, v, w) ->
+      let key = if u < v then (u, v) else (v, u) in
+      Hashtbl.replace merged key (w + Option.value ~default:0 (Hashtbl.find_opt merged key)))
+    edge_list;
+  let m = Hashtbl.length merged in
+  let deg = Array.make n 0 in
+  Hashtbl.iter
+    (fun (u, v) _ ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    merged;
+  let xadj = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    xadj.(u + 1) <- xadj.(u) + deg.(u)
+  done;
+  let adjncy = Array.make (2 * m) 0 and adjwgt = Array.make (2 * m) 0 in
+  let fill = Array.copy xadj in
+  Hashtbl.iter
+    (fun (u, v) w ->
+      adjncy.(fill.(u)) <- v;
+      adjwgt.(fill.(u)) <- w;
+      fill.(u) <- fill.(u) + 1;
+      adjncy.(fill.(v)) <- u;
+      adjwgt.(fill.(v)) <- w;
+      fill.(v) <- fill.(v) + 1)
+    merged;
+  (* Sort each slice by neighbour id (weights travel with ids). *)
+  for u = 0 to n - 1 do
+    let lo = xadj.(u) and hi = xadj.(u + 1) in
+    let len = hi - lo in
+    if len > 1 then begin
+      let pairs = Array.init len (fun i -> (adjncy.(lo + i), adjwgt.(lo + i))) in
+      Array.sort (fun (a, _) (b, _) -> compare a b) pairs;
+      Array.iteri
+        (fun i (v, w) ->
+          adjncy.(lo + i) <- v;
+          adjwgt.(lo + i) <- w)
+        pairs
+    end
+  done;
+  let total_edge_weight = Hashtbl.fold (fun _ w acc -> acc + w) merged 0 in
+  {
+    n;
+    xadj;
+    adjncy;
+    adjwgt;
+    vwgt;
+    m;
+    total_edge_weight;
+    total_vertex_weight = Array.fold_left ( + ) 0 vwgt;
+  }
+
+let of_unweighted_edges ~n edge_list =
+  of_edges ~n (List.map (fun (u, v) -> (u, v, 1)) edge_list)
+
+let empty n = of_edges ~n []
+
+let pp fmt g =
+  Format.fprintf fmt "graph: %d vertices, %d edges, avg degree %.2f%s" g.n g.m
+    (average_degree g)
+    (if is_unit_weighted g then "" else " (weighted)")

@@ -1,0 +1,202 @@
+let to_edge_list_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" (Csr.n_vertices g) (Csr.n_edges g));
+  Csr.iter_edges g (fun u v w ->
+      if w = 1 then Buffer.add_string buf (Printf.sprintf "%d %d\n" u v)
+      else Buffer.add_string buf (Printf.sprintf "%d %d %d\n" u v w));
+  Buffer.contents buf
+
+let split_ws line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let of_edge_list_string s =
+  let lines = String.split_on_char '\n' s in
+  let fail lineno msg = failwith (Printf.sprintf "edge list, line %d: %s" lineno msg) in
+  let parse_int lineno tok =
+    match int_of_string_opt tok with
+    | Some v -> v
+    | None -> fail lineno (Printf.sprintf "not an integer: %S" tok)
+  in
+  let header = ref None in
+  let edges = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some k -> String.sub line 0 k
+        | None -> line
+      in
+      match split_ws line with
+      | [] -> ()
+      | toks -> (
+          match !header with
+          | None -> (
+              match toks with
+              | [ a; b ] -> header := Some (parse_int lineno a, parse_int lineno b)
+              | _ -> fail lineno "expected header \"n m\"")
+          | Some _ -> (
+              match toks with
+              | [ a; b ] ->
+                  edges := (parse_int lineno a, parse_int lineno b, 1) :: !edges
+              | [ a; b; w ] ->
+                  edges := (parse_int lineno a, parse_int lineno b, parse_int lineno w) :: !edges
+              | _ -> fail lineno "expected \"u v [w]\"")))
+    lines;
+  match !header with
+  | None -> failwith "edge list: missing header"
+  | Some (n, m) ->
+      if List.length !edges <> m then
+        failwith
+          (Printf.sprintf "edge list: header declares %d edges, found %d" m
+             (List.length !edges));
+      Csr.of_edges ~n (List.rev !edges)
+
+let write_edge_list path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_edge_list_string g))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_edge_list path = of_edge_list_string (read_file path)
+
+let to_metis_string g =
+  let n = Csr.n_vertices g in
+  for v = 0 to n - 1 do
+    if Csr.vertex_weight g v <> 1 then
+      invalid_arg "Gio.to_metis_string: non-unit vertex weights unsupported"
+  done;
+  let weighted =
+    let w = ref false in
+    Csr.iter_edges g (fun _ _ ew -> if ew <> 1 then w := true);
+    !w
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (if weighted then Printf.sprintf "%d %d 1\n" n (Csr.n_edges g)
+     else Printf.sprintf "%d %d\n" n (Csr.n_edges g));
+  for v = 0 to n - 1 do
+    let first = ref true in
+    Csr.iter_neighbors g v (fun u w ->
+        if not !first then Buffer.add_char buf ' ';
+        first := false;
+        if weighted then Buffer.add_string buf (Printf.sprintf "%d %d" (u + 1) w)
+        else Buffer.add_string buf (string_of_int (u + 1)));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let of_metis_string s =
+  (* Empty lines are meaningful after the header (an isolated vertex has
+     an empty adjacency line), so only comment lines are dropped here;
+     leading blanks and trailing blanks are trimmed around the payload. *)
+  let lines =
+    String.split_on_char '\n' s
+    |> List.mapi (fun i l -> (i + 1, l))
+    |> List.filter (fun (_, l) ->
+           let l = String.trim l in
+           l = "" || l.[0] <> '%')
+  in
+  let rec drop_leading_blanks = function
+    | (_, l) :: rest when String.trim l = "" -> drop_leading_blanks rest
+    | lines -> lines
+  in
+  let lines = drop_leading_blanks lines in
+  let fail lineno msg = failwith (Printf.sprintf "metis, line %d: %s" lineno msg) in
+  match lines with
+  | [] -> failwith "metis: empty file"
+  | (hline, header) :: rest ->
+      let toks = split_ws header in
+      let parse_int lineno tok =
+        match int_of_string_opt tok with
+        | Some v -> v
+        | None -> fail lineno (Printf.sprintf "not an integer: %S" tok)
+      in
+      let n, m, fmt =
+        match toks with
+        | [ n; m ] -> (parse_int hline n, parse_int hline m, "0")
+        | [ n; m; fmt ] -> (parse_int hline n, parse_int hline m, fmt)
+        | _ -> fail hline "expected \"n m [fmt]\""
+      in
+      let edge_weighted =
+        match fmt with
+        | "0" | "00" | "000" -> false
+        | "1" | "01" | "001" -> true
+        | _ -> fail hline (Printf.sprintf "unsupported fmt %S" fmt)
+      in
+      (* Exactly n adjacency lines follow; anything beyond must be blank
+         (a trailing newline shows up as one extra empty line). *)
+      let rec split_at k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | line :: rest -> split_at (k - 1) (line :: acc) rest
+      in
+      let adjacency, excess = split_at n [] rest in
+      if List.length adjacency <> n then
+        failwith
+          (Printf.sprintf "metis: header declares %d vertices, found %d adjacency lines" n
+             (List.length adjacency));
+      List.iter
+        (fun (lineno, line) ->
+          if String.trim line <> "" then fail lineno "content after the adjacency lines")
+        excess;
+      let rest = adjacency in
+      let edges = ref [] in
+      List.iteri
+        (fun i (lineno, line) ->
+          let u = i in
+          let toks = List.map (parse_int lineno) (split_ws line) in
+          let rec consume = function
+            | [] -> ()
+            | v :: rest when not edge_weighted ->
+                if v < 1 || v > n then fail lineno "neighbour out of range";
+                if v - 1 > u then edges := (u, v - 1, 1) :: !edges;
+                consume rest
+            | v :: w :: rest ->
+                if v < 1 || v > n then fail lineno "neighbour out of range";
+                if v - 1 > u then edges := (u, v - 1, w) :: !edges;
+                consume rest
+            | [ _ ] -> fail lineno "dangling neighbour without weight"
+          in
+          consume toks)
+        rest;
+      let g = Csr.of_edges ~n (List.rev !edges) in
+      if Csr.n_edges g <> m then
+        failwith
+          (Printf.sprintf "metis: header declares %d edges, graph has %d" m (Csr.n_edges g));
+      g
+
+let read_metis path = of_metis_string (read_file path)
+
+let to_dot ?highlight_cut g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph G {\n  node [shape=circle];\n";
+  (match highlight_cut with
+  | None -> ()
+  | Some side ->
+      for v = 0 to Csr.n_vertices g - 1 do
+        let colour = if side.(v) = 0 then "lightblue" else "lightsalmon" in
+        Buffer.add_string buf
+          (Printf.sprintf "  %d [style=filled, fillcolor=%s];\n" v colour)
+      done);
+  Csr.iter_edges g (fun u v w ->
+      let attrs = ref [] in
+      if w <> 1 then attrs := Printf.sprintf "label=%d" w :: !attrs;
+      (match highlight_cut with
+      | Some side when side.(u) <> side.(v) -> attrs := "style=bold, color=red" :: !attrs
+      | _ -> ());
+      let attr_str =
+        match !attrs with [] -> "" | l -> Printf.sprintf " [%s]" (String.concat ", " l)
+      in
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d%s;\n" u v attr_str));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,69 @@
+let require_unit name g =
+  if not (Csr.is_unit_weighted g) then
+    invalid_arg (Printf.sprintf "Product.%s: weighted input" name)
+
+let disjoint_union g h =
+  let ng = Csr.n_vertices g and nh = Csr.n_vertices h in
+  let vertex_weights =
+    Array.init (ng + nh) (fun v ->
+        if v < ng then Csr.vertex_weight g v else Csr.vertex_weight h (v - ng))
+  in
+  let edges = ref [] in
+  Csr.iter_edges g (fun u v w -> edges := (u, v, w) :: !edges);
+  Csr.iter_edges h (fun u v w -> edges := (ng + u, ng + v, w) :: !edges);
+  Csr.of_edges ~vertex_weights ~n:(ng + nh) !edges
+
+let join g h =
+  let ng = Csr.n_vertices g and nh = Csr.n_vertices h in
+  let base = disjoint_union g h in
+  let edges = ref [] in
+  Csr.iter_edges base (fun u v w -> edges := (u, v, w) :: !edges);
+  for u = 0 to ng - 1 do
+    for v = 0 to nh - 1 do
+      edges := (u, ng + v, 1) :: !edges
+    done
+  done;
+  Csr.of_edges ~n:(ng + nh) !edges
+
+let product_generic name g h adjacent =
+  require_unit name g;
+  require_unit name h;
+  let ng = Csr.n_vertices g and nh = Csr.n_vertices h in
+  let id u v = (u * nh) + v in
+  let edges = ref [] in
+  for u1 = 0 to ng - 1 do
+    for v1 = 0 to nh - 1 do
+      for u2 = u1 to ng - 1 do
+        let v2_start = if u2 = u1 then v1 + 1 else 0 in
+        for v2 = v2_start to nh - 1 do
+          if adjacent u1 v1 u2 v2 then edges := (id u1 v1, id u2 v2) :: !edges
+        done
+      done
+    done
+  done;
+  Csr.of_unweighted_edges ~n:(ng * nh) !edges
+
+let cartesian g h =
+  product_generic "cartesian" g h (fun u1 v1 u2 v2 ->
+      (u1 = u2 && Csr.mem_edge h v1 v2) || (v1 = v2 && Csr.mem_edge g u1 u2))
+
+let tensor g h =
+  product_generic "tensor" g h (fun u1 v1 u2 v2 ->
+      Csr.mem_edge g u1 u2 && Csr.mem_edge h v1 v2)
+
+let strong g h =
+  product_generic "strong" g h (fun u1 v1 u2 v2 ->
+      (u1 = u2 && Csr.mem_edge h v1 v2)
+      || (v1 = v2 && Csr.mem_edge g u1 u2)
+      || (Csr.mem_edge g u1 u2 && Csr.mem_edge h v1 v2))
+
+let complement g =
+  require_unit "complement" g;
+  let n = Csr.n_vertices g in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not (Csr.mem_edge g u v) then edges := (u, v) :: !edges
+    done
+  done;
+  Csr.of_unweighted_edges ~n !edges

@@ -1,0 +1,36 @@
+(** Graph products and combinations.
+
+    The classic families are products — a grid is a product of paths, a
+    torus of cycles, the hypercube the d-th power of an edge — so these
+    operators both generate test instances compositionally and give the
+    test suite strong structural oracles ({!Classic} constructors must
+    coincide with the corresponding products).
+
+    For vertices [u] of [g] and [v] of [h], the product vertex [(u, v)]
+    has id [u * n_h + v]. All operators preserve unit weights; weighted
+    inputs are rejected to keep the semantics unambiguous. *)
+
+val disjoint_union : Csr.t -> Csr.t -> Csr.t
+(** Vertices of [h] shifted after those of [g]; no new edges. Accepts
+    weighted graphs (weights preserved). *)
+
+val join : Csr.t -> Csr.t -> Csr.t
+(** {!disjoint_union} plus all edges between the two sides (unit
+    weight). [join (empty a) (empty b)] is [K_{a,b}]. *)
+
+val cartesian : Csr.t -> Csr.t -> Csr.t
+(** [(u1,v1) ~ (u2,v2)] iff ([u1 = u2] and [v1 ~ v2]) or ([v1 = v2]
+    and [u1 ~ u2]). [path m x path n] is the [m x n] grid.
+    @raise Invalid_argument on weighted input. *)
+
+val tensor : Csr.t -> Csr.t -> Csr.t
+(** Categorical product: [(u1,v1) ~ (u2,v2)] iff [u1 ~ u2] and
+    [v1 ~ v2]. @raise Invalid_argument on weighted input. *)
+
+val strong : Csr.t -> Csr.t -> Csr.t
+(** Union of {!cartesian} and {!tensor} adjacency.
+    @raise Invalid_argument on weighted input. *)
+
+val complement : Csr.t -> Csr.t
+(** Simple complement (unit weights). Quadratic — intended for small
+    graphs. @raise Invalid_argument on weighted input. *)

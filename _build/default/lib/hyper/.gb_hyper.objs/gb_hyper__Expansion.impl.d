@@ -1,0 +1,1 @@
+lib/hyper/expansion.ml: Array Float Gb_graph Hgraph

@@ -1,0 +1,1 @@
+lib/hyper/expansion.mli: Gb_graph Hgraph

@@ -1,0 +1,1 @@
+lib/hyper/hcoarsen.ml: Array Gb_prng Hfm Hgraph List

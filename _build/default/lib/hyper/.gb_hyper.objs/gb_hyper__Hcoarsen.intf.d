@@ -1,0 +1,1 @@
+lib/hyper/hcoarsen.mli: Gb_prng Hfm Hgraph

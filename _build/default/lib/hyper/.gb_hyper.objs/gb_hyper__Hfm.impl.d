@@ -1,0 +1,1 @@
+lib/hyper/hfm.ml: Array Gb_kl Gb_prng Hgraph List

@@ -1,0 +1,1 @@
+lib/hyper/hfm.mli: Gb_prng Hgraph

@@ -1,0 +1,1 @@
+lib/hyper/hgraph.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/hyper/hsa.ml: Array Gb_anneal Gb_prng Hcoarsen Hgraph

@@ -1,0 +1,1 @@
+lib/hyper/hsa.mli: Gb_anneal Gb_prng Hgraph

@@ -1,0 +1,1 @@
+lib/hyper/netlist_io.ml: Buffer Fun Hgraph List Printf String

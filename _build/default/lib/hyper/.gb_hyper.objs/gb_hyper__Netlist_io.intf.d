@@ -1,0 +1,1 @@
+lib/hyper/netlist_io.mli: Hgraph

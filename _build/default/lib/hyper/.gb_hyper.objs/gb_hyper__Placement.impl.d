@@ -1,0 +1,1 @@
+lib/hyper/placement.ml: Array Gb_prng Hashtbl Hcoarsen Hfm Hgraph List Option Printf

@@ -1,0 +1,1 @@
+lib/hyper/placement.mli: Gb_prng Hgraph

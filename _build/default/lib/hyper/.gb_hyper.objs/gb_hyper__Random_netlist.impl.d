@@ -1,0 +1,1 @@
+lib/hyper/random_netlist.ml: Array Float Gb_prng Hgraph List

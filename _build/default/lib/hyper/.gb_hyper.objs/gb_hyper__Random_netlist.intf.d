@@ -1,0 +1,1 @@
+lib/hyper/random_netlist.mli: Gb_prng Hgraph

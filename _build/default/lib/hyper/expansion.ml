@@ -1,0 +1,34 @@
+module Csr = Gb_graph.Csr
+
+let clique ?(scale = 12) h =
+  if scale < 1 then invalid_arg "Expansion.clique: scale must be >= 1";
+  let edges = ref [] in
+  for e = 0 to Hgraph.n_nets h - 1 do
+    let members = Hgraph.net_members h e in
+    let s = Array.length members in
+    if s >= 2 then begin
+      let w = max 1 (int_of_float (Float.round (float_of_int scale /. float_of_int (s - 1)))) in
+      for i = 0 to s - 1 do
+        for j = i + 1 to s - 1 do
+          edges := (members.(i), members.(j), w) :: !edges
+        done
+      done
+    end
+  done;
+  Csr.of_edges ~n:(Hgraph.n_vertices h) !edges
+
+let star ?(scale = 1) h =
+  if scale < 1 then invalid_arg "Expansion.star: scale must be >= 1";
+  let n = Hgraph.n_vertices h in
+  let edges = ref [] in
+  for e = 0 to Hgraph.n_nets h - 1 do
+    Hgraph.iter_net h e (fun v -> edges := (v, n + e, scale) :: !edges)
+  done;
+  (Csr.of_edges ~n:(n + Hgraph.n_nets h) !edges, n)
+
+let star_cells_only h side =
+  let n = Hgraph.n_vertices h in
+  if Array.length side < n then invalid_arg "Expansion.star_cells_only: side too short";
+  Array.sub side 0 n
+
+let graph_cut_of_sides = Hgraph.cut_size

@@ -1,0 +1,36 @@
+(** Graph expansions of hypergraphs — the lossy translations that let
+    graph bisectors (KL, SA, compaction) run on netlists.
+
+    - {b clique}: each net of size s becomes a clique; parallel
+      contributions merge by weight. With weight [scale / (s - 1)] per
+      clique edge (rounded, min 1), a bipartition that cuts the net
+      once pays roughly [scale / 2 .. scale] — the standard
+      approximation and its standard distortion.
+    - {b star}: each net becomes a new zero-cost... rather, a hub
+      vertex joined to its pins with weight [scale]; preserves sparsity
+      (pins edges per net instead of s(s-1)/2) at the price of [nets]
+      extra vertices that the bisector must place somewhere. The hub
+      carries vertex weight 1 like everything else, so balance is
+      slightly diluted; {!star_cells_only} recovers the cell
+      assignment.
+
+    The round-trip error of both — measured against the true net cut —
+    is what experiment E-X4 quantifies. *)
+
+val clique : ?scale:int -> Hgraph.t -> Gb_graph.Csr.t
+(** [clique h] on the same vertex ids. [scale] defaults to 12 (a
+    convenient near-LCM so nets of size 2..7 get distinct positive
+    weights). Single-pin nets vanish. *)
+
+val star : ?scale:int -> Hgraph.t -> Gb_graph.Csr.t * int
+(** [star h] returns the expanded graph and the number of original
+    cells [n]; hub of net [e] is vertex [n + e]. [scale] defaults
+    to 1. *)
+
+val star_cells_only : Hgraph.t -> int array -> int array
+(** Restrict a side assignment on the star expansion to the original
+    cells. *)
+
+val graph_cut_of_sides : Hgraph.t -> int array -> int
+(** Convenience: the {e true} hypergraph net cut of a cell assignment
+    (alias of {!Hgraph.cut_size}, for symmetric naming in benches). *)

@@ -1,0 +1,32 @@
+(** Simulated annealing on hypergraph netlists.
+
+    The same Figure-1 engine ({!Gb_anneal.Sa}) the paper uses for
+    graphs, instantiated on the true net-cut objective: a move flips
+    one cell, the cost is [net_cut + imbalance_factor * (c0 - c1)^2],
+    and move deltas are computed from per-net side-pin counters in
+    O(pins of the cell). Completes the algorithm matrix: every engine
+    (KL/FM-style passes, SA, compaction) now runs on both graphs and
+    hypergraphs. *)
+
+type config = {
+  imbalance_factor : float;  (** > 0; default 0.05 as for graphs. *)
+  schedule : Gb_anneal.Schedule.t;
+}
+
+val default_config : config
+
+type stats = {
+  sa : Gb_anneal.Sa.stats;
+  initial_cut : int;
+  final_cut : int;
+}
+
+val refine :
+  ?config:config -> Gb_prng.Rng.t -> Hgraph.t -> int array -> int array * stats
+(** Anneal from a balanced cell assignment; returns a balanced
+    assignment (best balanced state seen, or the rebalanced final
+    state, whichever cuts fewer nets).
+    @raise Invalid_argument on invalid or unbalanced input. *)
+
+val run : ?config:config -> Gb_prng.Rng.t -> Hgraph.t -> int array * stats
+(** From a fresh random balanced assignment. *)

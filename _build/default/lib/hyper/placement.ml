@@ -1,0 +1,96 @@
+module Rng = Gb_prng.Rng
+
+type t = { rows : int; cols : int; slot : (int * int) array }
+
+type solver = Rng.t -> Hgraph.t -> int array
+
+let hfm_solver rng h = fst (Hfm.run rng h)
+let chfm_solver rng h = fst (Hcoarsen.bisect rng h)
+
+let random_solver rng h =
+  let n = Hgraph.n_vertices h in
+  let perm = Rng.permutation rng n in
+  let side = Array.make n 1 in
+  for i = 0 to (n / 2) - 1 do
+    side.(perm.(i)) <- 0
+  done;
+  side
+
+let is_power_of_two k = k >= 1 && k land (k - 1) = 0
+
+let place ~rows ~cols ~solver rng h =
+  if not (is_power_of_two rows && is_power_of_two cols) then
+    invalid_arg "Placement.place: rows and cols must be powers of two";
+  let n = Hgraph.n_vertices h in
+  if rows * cols > max 1 n then invalid_arg "Placement.place: more slots than cells";
+  let slot = Array.make n (0, 0) in
+  (* Split the cell set for a region, alternating directions; the cut
+     direction follows the longer region side (classic quadrature). *)
+  let rec recurse cells r0 c0 nrows ncols =
+    if nrows = 1 && ncols = 1 then
+      Array.iter (fun cell -> slot.(cell) <- (r0, c0)) cells
+    else begin
+      let sub = Hgraph.induced h cells in
+      let side = solver rng sub in
+      let side0 = ref [] and side1 = ref [] in
+      Array.iteri
+        (fun i cell ->
+          if side.(i) = 0 then side0 := cell :: !side0 else side1 := cell :: !side1)
+        cells;
+      let a = Array.of_list (List.rev !side0) and b = Array.of_list (List.rev !side1) in
+      if ncols >= nrows then begin
+        (* vertical cut: left/right halves *)
+        recurse a r0 c0 nrows (ncols / 2);
+        recurse b r0 (c0 + (ncols / 2)) nrows (ncols / 2)
+      end
+      else begin
+        recurse a r0 c0 (nrows / 2) ncols;
+        recurse b (r0 + (nrows / 2)) c0 (nrows / 2) ncols
+      end
+    end
+  in
+  recurse (Array.init n (fun i -> i)) 0 0 rows cols;
+  { rows; cols; slot }
+
+let hpwl h t =
+  let total = ref 0 in
+  for e = 0 to Hgraph.n_nets h - 1 do
+    if Hgraph.net_size h e >= 2 then begin
+      let rmin = ref max_int and rmax = ref min_int in
+      let cmin = ref max_int and cmax = ref min_int in
+      Hgraph.iter_net h e (fun v ->
+          let r, c = t.slot.(v) in
+          if r < !rmin then rmin := r;
+          if r > !rmax then rmax := r;
+          if c < !cmin then cmin := c;
+          if c > !cmax then cmax := c);
+      total := !total + (!rmax - !rmin) + (!cmax - !cmin)
+    end
+  done;
+  !total
+
+let validate h t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let n = Hgraph.n_vertices h in
+  if Array.length t.slot <> n then fail "slot length";
+  let population = Hashtbl.create (t.rows * t.cols) in
+  Array.iter
+    (fun (r, c) ->
+      if r < 0 || r >= t.rows || c < 0 || c >= t.cols then fail "slot out of range";
+      Hashtbl.replace population (r, c)
+        (1 + Option.value ~default:0 (Hashtbl.find_opt population (r, c))))
+    t.slot;
+  let depth =
+    let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v / 2) in
+    log2 0 t.rows + log2 0 t.cols
+  in
+  let mx = ref 0 and mn = ref max_int in
+  for r = 0 to t.rows - 1 do
+    for c = 0 to t.cols - 1 do
+      let p = Option.value ~default:0 (Hashtbl.find_opt population (r, c)) in
+      if p > !mx then mx := p;
+      if p < !mn then mn := p
+    done
+  done;
+  if !mx - !mn > max 1 depth then
+    fail "slot populations unbalanced: max %d min %d (depth %d)" !mx !mn depth

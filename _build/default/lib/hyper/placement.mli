@@ -1,0 +1,47 @@
+(** Min-cut placement — the application sentence of the paper's
+    introduction carried to its endpoint.
+
+    Classical quadrature placement: recursively bisect the netlist,
+    alternating cut directions, until each region holds a handful of
+    cells; every cell lands in a slot of an [rows x cols] grid and the
+    router pays roughly the {e half-perimeter wirelength} (HPWL) of
+    each net's bounding box. Better bisections => smaller HPWL; this
+    module lets the harness measure that, closing the loop from the
+    paper's cut-size tables to the physical metric they stand in for.
+
+    Terminal propagation is deliberately omitted (as in the earliest
+    min-cut placers): each region is bisected independently. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  slot : (int * int) array;  (** [slot.(cell) = (row, col)]. *)
+}
+
+type solver = Gb_prng.Rng.t -> Hgraph.t -> int array
+(** Hypergraph bisection solver used at every region split. *)
+
+val hfm_solver : solver
+(** {!Hfm.run} (flat FM). *)
+
+val chfm_solver : solver
+(** {!Hcoarsen.bisect} (compacted FM — the paper's idea, netlist form). *)
+
+val random_solver : solver
+(** Random balanced split (the control). *)
+
+val place :
+  rows:int -> cols:int -> solver:solver -> Gb_prng.Rng.t -> Hgraph.t -> t
+(** [place ~rows ~cols ~solver rng h]: [rows] and [cols] must be powers
+    of two. Region populations differ by at most the recursion depth.
+    @raise Invalid_argument on non-power-of-two dimensions or a grid
+    with more slots than cells. *)
+
+val hpwl : Hgraph.t -> t -> int
+(** Total half-perimeter wirelength: sum over nets of
+    [(max row - min row) + (max col - min col)] of the net's cells.
+    Single-pin nets contribute 0. *)
+
+val validate : Hgraph.t -> t -> unit
+(** Slots in range, populations balanced within depth.
+    @raise Failure on violation. *)

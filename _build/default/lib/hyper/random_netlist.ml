@@ -1,0 +1,73 @@
+module Rng = Gb_prng.Rng
+
+type params = {
+  blocks : int;
+  cells_per_block : int;
+  local_nets_per_cell : float;
+  net_size_tail : float;
+  global_nets : int;
+  blocks_per_global_net : int;
+}
+
+let default_params =
+  {
+    blocks = 16;
+    cells_per_block = 32;
+    local_nets_per_cell = 1.2;
+    net_size_tail = 0.6;
+    global_nets = 48;
+    blocks_per_global_net = 3;
+  }
+
+let validate_params p =
+  let bad msg = invalid_arg ("Random_netlist: " ^ msg) in
+  if p.blocks < 2 then bad "blocks >= 2";
+  if p.cells_per_block < 2 then bad "cells_per_block >= 2";
+  if p.local_nets_per_cell < 0. then bad "local_nets_per_cell >= 0";
+  if not (p.net_size_tail > 0. && p.net_size_tail <= 1.) then bad "net_size_tail in (0,1]";
+  if p.global_nets < 0 then bad "global_nets >= 0";
+  if p.blocks_per_global_net < 2 then bad "blocks_per_global_net >= 2";
+  if p.blocks_per_global_net > p.blocks then bad "blocks_per_global_net <= blocks"
+
+let block_of_cell p cell = cell / p.cells_per_block
+
+let generate rng p =
+  validate_params p;
+  let n = p.blocks * p.cells_per_block in
+  let nets = ref [] in
+  (* Local nets: members drawn within one block, sizes 2 + geometric. *)
+  for b = 0 to p.blocks - 1 do
+    let base = b * p.cells_per_block in
+    let count =
+      int_of_float
+        (Float.round (p.local_nets_per_cell *. float_of_int p.cells_per_block))
+    in
+    for _ = 1 to count do
+      let size =
+        min p.cells_per_block (2 + Rng.geometric_skip rng p.net_size_tail)
+      in
+      let members =
+        Rng.sample_without_replacement rng ~k:size ~n:p.cells_per_block
+        |> Array.map (fun c -> base + c)
+        |> Array.to_list
+      in
+      nets := members :: !nets
+    done
+  done;
+  (* Global nets: one random cell in each of a few random blocks. *)
+  for _ = 1 to p.global_nets do
+    let span = min p.blocks_per_global_net p.blocks in
+    let chosen = Rng.sample_without_replacement rng ~k:span ~n:p.blocks in
+    let members =
+      Array.to_list
+        (Array.map
+           (fun b -> (b * p.cells_per_block) + Rng.int rng p.cells_per_block)
+           chosen)
+    in
+    nets := members :: !nets
+  done;
+  Hgraph.of_nets ~n (List.rev !nets)
+
+let block_sides p =
+  let n = p.blocks * p.cells_per_block in
+  Array.init n (fun cell -> if block_of_cell p cell < p.blocks / 2 then 0 else 1)

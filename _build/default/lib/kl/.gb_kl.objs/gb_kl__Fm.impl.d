@@ -1,0 +1,1 @@
+lib/kl/fm.ml: Array Gain_buckets Gb_graph Gb_partition List

@@ -1,0 +1,1 @@
+lib/kl/fm.mli: Gb_graph Gb_partition Gb_prng

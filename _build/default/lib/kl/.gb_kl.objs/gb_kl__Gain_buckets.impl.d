@@ -1,0 +1,1 @@
+lib/kl/gain_buckets.ml: Array

@@ -1,0 +1,1 @@
+lib/kl/kl.ml: Array Gain_buckets Gb_graph Gb_partition List

@@ -1,0 +1,1 @@
+lib/kl/kl.mli: Gb_graph Gb_partition Gb_prng

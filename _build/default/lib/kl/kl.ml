@@ -1,0 +1,220 @@
+module Csr = Gb_graph.Csr
+module Bisection = Gb_partition.Bisection
+
+type config = { max_passes : int; until_no_improvement : bool }
+
+let default_config = { max_passes = 50; until_no_improvement = true }
+
+type stats = {
+  passes : int;
+  swaps : int;
+  initial_cut : int;
+  final_cut : int;
+  pass_gains : int list;
+}
+
+let check_input g side =
+  Bisection.validate_sides g side;
+  let c0, c1 = Bisection.side_counts side in
+  if abs (c0 - c1) > 1 then invalid_arg "Kl: input bisection is not balanced"
+
+(* Tentatively flip [v] and update unlocked neighbours' gains (both the
+   array and their bucket, chosen by current side). *)
+let flip g side gains locked buckets v =
+  side.(v) <- 1 - side.(v);
+  Csr.iter_neighbors g v (fun u w ->
+      if not locked.(u) then begin
+        let delta = if side.(u) = side.(v) then -2 * w else 2 * w in
+        gains.(u) <- gains.(u) + delta;
+        Gain_buckets.update buckets.(side.(u)) u gains.(u)
+      end)
+
+(* Exact best-pair selection: scan side-0 vertices in descending gain;
+   for each, scan side-1 while the uncorrected sum can still win. *)
+let select_pair g buckets =
+  let best = ref min_int and best_a = ref (-1) and best_b = ref (-1) in
+  (match Gain_buckets.max_gain buckets.(1) with
+  | None -> ()
+  | Some max_b ->
+      Gain_buckets.iter_desc buckets.(0) ~f:(fun a ga ->
+          if ga + max_b <= !best then `Stop
+          else begin
+            Gain_buckets.iter_desc buckets.(1) ~f:(fun b gb ->
+                if ga + gb <= !best then `Stop
+                else begin
+                  let cand = ga + gb - (2 * Csr.edge_weight g a b) in
+                  if cand > !best then begin
+                    best := cand;
+                    best_a := a;
+                    best_b := b
+                  end;
+                  `Continue
+                end);
+            `Continue
+          end));
+  if !best_a < 0 then None else Some (!best_a, !best_b, !best)
+
+let one_pass_internal g side0 =
+  let n = Csr.n_vertices g in
+  let side = Array.copy side0 in
+  let gains = Bisection.all_gains g side in
+  let locked = Array.make n false in
+  let range =
+    let r = ref 1 in
+    for v = 0 to n - 1 do
+      let d = Csr.weighted_degree g v in
+      if d > !r then r := d
+    done;
+    !r
+  in
+  let buckets =
+    [| Gain_buckets.create ~capacity:n ~range; Gain_buckets.create ~capacity:n ~range |]
+  in
+  for v = 0 to n - 1 do
+    Gain_buckets.insert buckets.(side.(v)) v gains.(v)
+  done;
+  let c0, c1 = Bisection.side_counts side in
+  let steps = min c0 c1 in
+  let pairs = Array.make steps (0, 0) in
+  let cumulative = Array.make steps 0 in
+  let running = ref 0 in
+  let performed = ref 0 in
+  (try
+     for i = 0 to steps - 1 do
+       match select_pair g buckets with
+       | None -> raise Exit
+       | Some (a, b, gain_ab) ->
+           Gain_buckets.remove buckets.(0) a;
+           Gain_buckets.remove buckets.(1) b;
+           locked.(a) <- true;
+           locked.(b) <- true;
+           flip g side gains locked buckets a;
+           flip g side gains locked buckets b;
+           running := !running + gain_ab;
+           pairs.(i) <- (a, b);
+           cumulative.(i) <- !running;
+           incr performed
+     done
+   with Exit -> ());
+  (* Best prefix. *)
+  let best_k = ref 0 and best_gain = ref 0 in
+  for i = 0 to !performed - 1 do
+    if cumulative.(i) > !best_gain then begin
+      best_gain := cumulative.(i);
+      best_k := i + 1
+    end
+  done;
+  if !best_gain <= 0 then (Array.copy side0, 0)
+  else begin
+    let result = Array.copy side0 in
+    for i = 0 to !best_k - 1 do
+      let a, b = pairs.(i) in
+      result.(a) <- 1 - result.(a);
+      result.(b) <- 1 - result.(b)
+    done;
+    (result, !best_gain)
+  end
+
+let one_pass g side =
+  check_input g side;
+  one_pass_internal g side
+
+let refine ?(config = default_config) g side0 =
+  check_input g side0;
+  let initial_cut = Bisection.compute_cut g side0 in
+  let side = ref (Array.copy side0) in
+  let pass_gains = ref [] in
+  let swaps = ref 0 in
+  let passes = ref 0 in
+  (try
+     while !passes < config.max_passes do
+       let next, gain = one_pass_internal g !side in
+       incr passes;
+       pass_gains := gain :: !pass_gains;
+       if gain > 0 then begin
+         (* Count committed exchanges as the Hamming distance / 2. *)
+         let moved = ref 0 in
+         Array.iteri (fun v s -> if s <> next.(v) then incr moved) !side;
+         swaps := !swaps + (!moved / 2);
+         side := next
+       end
+       else if config.until_no_improvement then raise Exit
+     done
+   with Exit -> ());
+  let final_cut = Bisection.compute_cut g !side in
+  ( !side,
+    {
+      passes = !passes;
+      swaps = !swaps;
+      initial_cut;
+      final_cut;
+      pass_gains = List.rev !pass_gains;
+    } )
+
+let run ?config rng g =
+  let side0 = Gb_partition.Initial.random rng g in
+  let side, stats = refine ?config g side0 in
+  (Bisection.of_sides g side, stats)
+
+module Reference = struct
+  (* Quadratic transcription of Figure 2. *)
+  let one_pass g side0 =
+    check_input g side0;
+    let n = Csr.n_vertices g in
+    let side = Array.copy side0 in
+    let gains = Bisection.all_gains g side in
+    let locked = Array.make n false in
+    let c0, c1 = Bisection.side_counts side in
+    let steps = min c0 c1 in
+    let pairs = Array.make (max steps 1) (0, 0) in
+    let cumulative = Array.make (max steps 1) 0 in
+    let running = ref 0 in
+    for i = 0 to steps - 1 do
+      let best = ref min_int and best_a = ref (-1) and best_b = ref (-1) in
+      for a = 0 to n - 1 do
+        if (not locked.(a)) && side.(a) = 0 then
+          for b = 0 to n - 1 do
+            if (not locked.(b)) && side.(b) = 1 then begin
+              let cand = gains.(a) + gains.(b) - (2 * Csr.edge_weight g a b) in
+              if cand > !best then begin
+                best := cand;
+                best_a := a;
+                best_b := b
+              end
+            end
+          done
+      done;
+      let a = !best_a and b = !best_b in
+      locked.(a) <- true;
+      locked.(b) <- true;
+      let flip v =
+        side.(v) <- 1 - side.(v);
+        Csr.iter_neighbors g v (fun u w ->
+            if not locked.(u) then
+              if side.(u) = side.(v) then gains.(u) <- gains.(u) - (2 * w)
+              else gains.(u) <- gains.(u) + (2 * w))
+      in
+      flip a;
+      flip b;
+      running := !running + !best;
+      pairs.(i) <- (a, b);
+      cumulative.(i) <- !running
+    done;
+    let best_k = ref 0 and best_gain = ref 0 in
+    for i = 0 to steps - 1 do
+      if cumulative.(i) > !best_gain then begin
+        best_gain := cumulative.(i);
+        best_k := i + 1
+      end
+    done;
+    if !best_gain <= 0 then (Array.copy side0, 0)
+    else begin
+      let result = Array.copy side0 in
+      for i = 0 to !best_k - 1 do
+        let a, b = pairs.(i) in
+        result.(a) <- 1 - result.(a);
+        result.(b) <- 1 - result.(b)
+      done;
+      (result, !best_gain)
+    end
+end

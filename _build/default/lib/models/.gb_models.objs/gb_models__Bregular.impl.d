@@ -1,0 +1,1 @@
+lib/models/bregular.ml: Array Degree_seq Gb_graph Gb_prng Hashtbl

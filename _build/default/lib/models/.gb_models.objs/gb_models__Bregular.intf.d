@@ -1,0 +1,1 @@
+lib/models/bregular.mli: Gb_graph Gb_prng

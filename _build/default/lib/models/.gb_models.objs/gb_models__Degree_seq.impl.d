@@ -1,0 +1,1 @@
+lib/models/degree_seq.ml: Array Gb_graph Gb_prng Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/models/degree_seq.mli: Gb_graph Gb_prng

@@ -1,0 +1,1 @@
+lib/models/geometric.ml: Array Float Gb_graph Gb_partition Gb_prng Hashtbl List Option

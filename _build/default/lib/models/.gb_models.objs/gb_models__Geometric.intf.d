@@ -1,0 +1,1 @@
+lib/models/geometric.mli: Gb_graph Gb_prng

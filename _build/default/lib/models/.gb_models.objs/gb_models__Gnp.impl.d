@@ -1,0 +1,1 @@
+lib/models/gnp.ml: Gb_graph Gb_prng

@@ -1,0 +1,1 @@
+lib/models/gnp.mli: Gb_graph Gb_prng

@@ -1,0 +1,1 @@
+lib/models/planted.ml: Array Gb_graph Gb_prng Gnp

@@ -1,0 +1,1 @@
+lib/models/planted.mli: Gb_graph Gb_prng

@@ -1,0 +1,1 @@
+lib/models/small_world.ml: Gb_graph Gb_prng

@@ -1,0 +1,1 @@
+lib/models/small_world.mli: Gb_graph Gb_prng

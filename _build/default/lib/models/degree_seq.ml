@@ -1,0 +1,154 @@
+module Rng = Gb_prng.Rng
+module Csr = Gb_graph.Csr
+
+let is_graphical deg =
+  let n = Array.length deg in
+  if Array.exists (fun d -> d < 0 || d > n - 1) deg then false
+  else begin
+    let sum = Array.fold_left ( + ) 0 deg in
+    if sum land 1 = 1 then false
+    else begin
+      let d = Array.copy deg in
+      Array.sort (fun a b -> compare b a) d;
+      (* Erdős–Gallai: for every k,
+         sum_{i<=k} d_i <= k(k-1) + sum_{i>k} min(d_i, k). *)
+      let prefix = Array.make (n + 1) 0 in
+      for i = 0 to n - 1 do
+        prefix.(i + 1) <- prefix.(i) + d.(i)
+      done;
+      let ok = ref true in
+      for k = 1 to n do
+        if !ok then begin
+          (* Tail sum of min(d_i, k) for i in [k, n): binary search for the
+             first index with d_i < k (d is descending). *)
+          let lo = ref k and hi = ref n in
+          while !lo < !hi do
+            let mid = (!lo + !hi) / 2 in
+            if d.(mid) >= k then lo := mid + 1 else hi := mid
+          done;
+          let split = !lo in
+          let tail = (k * (split - k)) + (prefix.(n) - prefix.(split)) in
+          if prefix.(k) > (k * (k - 1)) + tail then ok := false
+        end
+      done;
+      !ok
+    end
+  end
+
+(* One attempt: random pairing then bounded repair by double-edge swaps. *)
+let attempt rng deg n =
+  let stubs = Array.make (Array.fold_left ( + ) 0 deg) 0 in
+  let idx = ref 0 in
+  Array.iteri
+    (fun v d ->
+      for _ = 1 to d do
+        stubs.(!idx) <- v;
+        incr idx
+      done)
+    deg;
+  Rng.shuffle_in_place rng stubs;
+  let m = Array.length stubs / 2 in
+  let eu = Array.make m 0 and ev = Array.make m 0 in
+  let counts = Hashtbl.create (2 * m + 1) in
+  let key u v = if u < v then (u, v) else (v, u) in
+  let count u v = Option.value ~default:0 (Hashtbl.find_opt counts (key u v)) in
+  let bump u v delta =
+    let k = key u v in
+    let c = count u v + delta in
+    if c = 0 then Hashtbl.remove counts k else Hashtbl.replace counts k c
+  in
+  for e = 0 to m - 1 do
+    eu.(e) <- stubs.(2 * e);
+    ev.(e) <- stubs.((2 * e) + 1);
+    bump eu.(e) ev.(e) 1
+  done;
+  let is_bad e = eu.(e) = ev.(e) || count eu.(e) ev.(e) > 1 in
+  let bad_count () =
+    let c = ref 0 in
+    for e = 0 to m - 1 do
+      if is_bad e then incr c
+    done;
+    !c
+  in
+  (* Repair loop: each bad edge proposes swaps with random partners. *)
+  let budget = ref (200 * (m + 1)) in
+  let progress = ref true in
+  while bad_count () > 0 && !budget > 0 && !progress do
+    progress := false;
+    for e1 = 0 to m - 1 do
+      if is_bad e1 && !budget > 0 then begin
+        let tries = ref 20 in
+        let fixed = ref false in
+        while (not !fixed) && !tries > 0 && !budget > 0 do
+          decr tries;
+          decr budget;
+          let e2 = Rng.int rng m in
+          if e2 <> e1 then begin
+            let a = eu.(e1) and b = ev.(e1) in
+            let c0 = eu.(e2) and d0 = ev.(e2) in
+            (* Two rewirings; pick one at random, try the other second. *)
+            let variants =
+              if Rng.bool rng then [ (a, c0, b, d0); (a, d0, b, c0) ]
+              else [ (a, d0, b, c0); (a, c0, b, d0) ]
+            in
+            let try_variant (x1, y1, x2, y2) =
+              if x1 = y1 || x2 = y2 then false
+              else begin
+                bump a b (-1);
+                bump c0 d0 (-1);
+                let clash =
+                  count x1 y1 > 0 || count x2 y2 > 0
+                  || (key x1 y1 = key x2 y2)
+                in
+                if clash then begin
+                  bump a b 1;
+                  bump c0 d0 1;
+                  false
+                end
+                else begin
+                  bump x1 y1 1;
+                  bump x2 y2 1;
+                  eu.(e1) <- x1;
+                  ev.(e1) <- y1;
+                  eu.(e2) <- x2;
+                  ev.(e2) <- y2;
+                  true
+                end
+              end
+            in
+            if List.exists try_variant variants then begin
+              fixed := true;
+              progress := true
+            end
+          end
+        done
+      end
+    done
+  done;
+  if bad_count () > 0 then None
+  else begin
+    let edges = ref [] in
+    for e = 0 to m - 1 do
+      edges := (eu.(e), ev.(e), 1) :: !edges
+    done;
+    Some (Csr.of_edges ~n !edges)
+  end
+
+let generate rng deg =
+  let n = Array.length deg in
+  if Array.exists (fun d -> d < 0 || d > n - 1) deg then
+    invalid_arg "Degree_seq.generate: degree out of range";
+  if Array.fold_left ( + ) 0 deg land 1 = 1 then
+    invalid_arg "Degree_seq.generate: odd degree sum";
+  if not (is_graphical deg) then failwith "Degree_seq.generate: sequence is not graphical";
+  let rec loop attempts =
+    if attempts = 0 then
+      failwith "Degree_seq.generate: could not realise sequence (swap repair stalled)"
+    else
+      match attempt rng deg n with Some g -> g | None -> loop (attempts - 1)
+  in
+  loop 100
+
+let random_regular rng ~n ~d =
+  if d < 0 || d >= max n 1 || n * d land 1 = 1 then invalid_arg "Degree_seq.random_regular";
+  generate rng (Array.make n d)

@@ -1,0 +1,63 @@
+module Rng = Gb_prng.Rng
+module Csr = Gb_graph.Csr
+
+type point = { x : float; y : float }
+
+let radius_for_average_degree ~n ~avg_degree =
+  if n < 2 then invalid_arg "Geometric.radius_for_average_degree: n < 2";
+  if avg_degree < 0. then invalid_arg "Geometric.radius_for_average_degree: negative degree";
+  sqrt (avg_degree /. (float_of_int (n - 1) *. Float.pi))
+
+let generate_with_points rng ~n ~radius =
+  if n < 0 then invalid_arg "Geometric.generate: negative n";
+  if radius < 0. then invalid_arg "Geometric.generate: negative radius";
+  let points = Array.init n (fun _ ->
+      let x = Rng.float rng 1.0 in
+      let y = Rng.float rng 1.0 in
+      { x; y })
+  in
+  (* Grid hashing: cells of side [radius]; neighbours can only lie in
+     the 3x3 block of cells around a point. *)
+  let r2 = radius *. radius in
+  let cells = max 1 (int_of_float (1. /. max radius 1e-9)) in
+  let cells = min cells (max 1 n) in
+  let cell_of v =
+    let cx = min (cells - 1) (int_of_float (points.(v).x *. float_of_int cells)) in
+    let cy = min (cells - 1) (int_of_float (points.(v).y *. float_of_int cells)) in
+    (cx, cy)
+  in
+  let grid = Hashtbl.create (2 * n + 1) in
+  for v = 0 to n - 1 do
+    let key = cell_of v in
+    Hashtbl.replace grid key (v :: Option.value ~default:[] (Hashtbl.find_opt grid key))
+  done;
+  let edges = ref [] in
+  let close u v =
+    let dx = points.(u).x -. points.(v).x and dy = points.(u).y -. points.(v).y in
+    (dx *. dx) +. (dy *. dy) <= r2
+  in
+  for v = 0 to n - 1 do
+    let cx, cy = cell_of v in
+    for dx = -1 to 1 do
+      for dy = -1 to 1 do
+        match Hashtbl.find_opt grid (cx + dx, cy + dy) with
+        | None -> ()
+        | Some members ->
+            List.iter (fun u -> if u > v && close u v then edges := (v, u, 1) :: !edges) members
+      done
+    done
+  done;
+  (Csr.of_edges ~n !edges, points)
+
+let generate rng ~n ~radius = fst (generate_with_points rng ~n ~radius)
+
+let strip_cut g points =
+  let n = Csr.n_vertices g in
+  if Array.length points <> n then invalid_arg "Geometric.strip_cut: length mismatch";
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare (points.(a).x, a) (points.(b).x, b)) order;
+  let side = Array.make n 1 in
+  for i = 0 to (n / 2) - 1 do
+    side.(order.(i)) <- 0
+  done;
+  Gb_partition.Bisection.compute_cut g side

@@ -1,0 +1,34 @@
+(** Random geometric graphs [U(n, r)] — the other benchmark family of
+    the era: Johnson, Aragon, McGeoch and Schevon evaluated their
+    annealer (the implementation §II compares against) on exactly these
+    alongside [Gnp].
+
+    [n] points are dropped uniformly in the unit square; two points are
+    adjacent when their Euclidean distance is at most [r]. Unlike
+    [Gnp], geometric graphs have strong locality — small balanced cuts
+    exist (cut along a vertical line), so heuristic quality is visible,
+    and the planted-free construction complements the [Gbreg] model.
+
+    Generation is O(n + m) via uniform grid hashing with cell size
+    [r]. *)
+
+type point = { x : float; y : float }
+
+val generate : Gb_prng.Rng.t -> n:int -> radius:float -> Gb_graph.Csr.t
+(** [generate rng ~n ~radius] samples a geometric graph.
+    @raise Invalid_argument unless [n >= 0] and [0 <= radius]. *)
+
+val generate_with_points :
+  Gb_prng.Rng.t -> n:int -> radius:float -> Gb_graph.Csr.t * point array
+(** Also return the embedding (useful for plotting and for the
+    strip-cut lower-bound check in the tests). *)
+
+val radius_for_average_degree : n:int -> avg_degree:float -> float
+(** The radius giving the requested expected degree in the bulk
+    (ignoring boundary effects): [sqrt (avg_degree / ((n - 1) * pi))].
+    @raise Invalid_argument if [n < 2] or [avg_degree < 0]. *)
+
+val strip_cut : Gb_graph.Csr.t -> point array -> int
+(** Cut of the balanced bisection given by the median-x vertical line —
+    the natural geometric upper bound the heuristics should approach
+    or beat. *)

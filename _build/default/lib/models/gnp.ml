@@ -1,0 +1,49 @@
+module Rng = Gb_prng.Rng
+module Csr = Gb_graph.Csr
+
+(* Enumerate the C(n,2) vertex pairs in lexicographic order and jump
+   between selected ones with geometric skips: the index of the next
+   present edge is current + 1 + Geometric(p). *)
+let generate rng ~n ~p =
+  if n < 0 then invalid_arg "Gnp.generate: negative n";
+  if not (p >= 0. && p <= 1.) then invalid_arg "Gnp.generate: p out of [0,1]";
+  if p = 0. || n < 2 then Csr.empty (max n 0)
+  else begin
+    let edges = ref [] in
+    (* Walk row by row: for row u the candidate pairs are (u, u+1..n-1). *)
+    let u = ref 0 and offset = ref 0 in
+    (* (u, u+1+offset) is the next candidate pair. *)
+    let advance skip =
+      let s = ref skip in
+      while !u < n - 1 && !s >= 0 do
+        let row_len = n - 1 - !u in
+        if !offset + !s < row_len then begin
+          offset := !offset + !s;
+          s := -1 (* landed *)
+        end
+        else begin
+          s := !s - (row_len - !offset);
+          incr u;
+          offset := 0
+        end
+      done
+    in
+    advance (Rng.geometric_skip rng p);
+    while !u < n - 1 do
+      edges := (!u, !u + 1 + !offset, 1) :: !edges;
+      advance (1 + Rng.geometric_skip rng p)
+    done;
+    Csr.of_edges ~n !edges
+  end
+
+let p_for_average_degree ~n ~avg_degree =
+  if n < 2 then invalid_arg "Gnp.p_for_average_degree: n < 2";
+  avg_degree /. float_of_int (n - 1)
+
+let with_average_degree rng ~n ~avg_degree =
+  let p = p_for_average_degree ~n ~avg_degree in
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg "Gnp.with_average_degree: implied p out of [0,1]";
+  generate rng ~n ~p
+
+let expected_edges ~n ~p = p *. float_of_int (n * (n - 1) / 2)

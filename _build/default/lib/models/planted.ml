@@ -1,0 +1,48 @@
+module Rng = Gb_prng.Rng
+module Csr = Gb_graph.Csr
+
+type params = { two_n : int; p_a : float; p_b : float; bis : int }
+
+let validate { two_n; p_a; p_b; bis } =
+  if two_n < 2 || two_n mod 2 <> 0 then invalid_arg "Planted: two_n must be even, >= 2";
+  if not (p_a >= 0. && p_a <= 1. && p_b >= 0. && p_b <= 1.) then
+    invalid_arg "Planted: probabilities out of [0,1]";
+  let n = two_n / 2 in
+  if bis < 0 || bis > n * n then invalid_arg "Planted: bis out of range"
+
+let generate rng params =
+  validate params;
+  let n = params.two_n / 2 in
+  (* Within-side subgraphs via the Gnp sampler, then relabel. *)
+  let ga = Gnp.generate rng ~n ~p:params.p_a in
+  let gb = Gnp.generate rng ~n ~p:params.p_b in
+  let edges = ref [] in
+  Csr.iter_edges ga (fun u v w -> edges := (u, v, w) :: !edges);
+  Csr.iter_edges gb (fun u v w -> edges := (n + u, n + v, w) :: !edges);
+  (* Exactly bis distinct cross pairs: sample indices from [0, n^2). *)
+  let cross = Rng.sample_without_replacement rng ~k:params.bis ~n:(n * n) in
+  Array.iter
+    (fun idx ->
+      let a = idx / n and b = idx mod n in
+      edges := (a, n + b, 1) :: !edges)
+    cross;
+  Csr.of_edges ~n:params.two_n !edges
+
+let planted_sides params =
+  let n = params.two_n / 2 in
+  Array.init params.two_n (fun v -> if v < n then 0 else 1)
+
+let expected_average_degree { two_n; p_a; p_b; bis } =
+  let n = float_of_int (two_n / 2) in
+  let within = (n *. (n -. 1.) /. 2.) *. (p_a +. p_b) in
+  (2. *. (within +. float_of_int bis)) /. float_of_int two_n
+
+let params_for_average_degree ~two_n ~avg_degree ~bis =
+  if two_n < 4 || two_n mod 2 <> 0 then
+    invalid_arg "Planted.params_for_average_degree: two_n";
+  let n = two_n / 2 in
+  (* avg_degree = (n - 1) p + bis / n  for symmetric p. *)
+  let p = (avg_degree -. (float_of_int bis /. float_of_int n)) /. float_of_int (n - 1) in
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg "Planted.params_for_average_degree: infeasible";
+  { two_n; p_a = p; p_b = p; bis }

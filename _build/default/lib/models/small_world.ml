@@ -1,0 +1,35 @@
+module Rng = Gb_prng.Rng
+module Builder = Gb_graph.Builder
+
+type params = { n : int; k : int; beta : float }
+
+let validate_params { n; k; beta } =
+  let bad msg = invalid_arg ("Small_world: " ^ msg) in
+  if n < 3 then bad "n >= 3";
+  if k < 1 || 2 * k >= n then bad "need 1 <= k and 2k < n";
+  if not (beta >= 0. && beta <= 1.) then bad "beta in [0,1]"
+
+let generate rng params =
+  validate_params params;
+  let { n; k; beta } = params in
+  let b = Builder.create ~expected_edges:(n * k) n in
+  for v = 0 to n - 1 do
+    for d = 1 to k do
+      let u = (v + d) mod n in
+      if Rng.bernoulli rng beta then begin
+        (* rewire the far endpoint; bounded retries, else keep the
+           lattice edge so the edge count stays exactly n * k *)
+        let rec attempt tries =
+          if tries = 0 then ignore (Builder.add_edge_if_absent b v u)
+          else begin
+            let w = Rng.int rng n in
+            if w <> v && Builder.add_edge_if_absent b v w then ()
+            else attempt (tries - 1)
+          end
+        in
+        attempt 20
+      end
+      else ignore (Builder.add_edge_if_absent b v u)
+    done
+  done;
+  Builder.build b

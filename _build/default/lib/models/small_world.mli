@@ -1,0 +1,26 @@
+(** Watts-Strogatz small-world graphs.
+
+    Start from the ring lattice [C_n^k] (every vertex joined to its [k]
+    nearest neighbours each way) and rewire each edge's far endpoint
+    with probability [beta] to a uniform random vertex (avoiding
+    self-loops and duplicates). [beta = 0] is the lattice — a
+    structured instance with a known small bisection ([~2k]) — and
+    [beta = 1] approaches a random [2k]-regular-ish graph with a large
+    one; sweeping [beta] morphs the easy regime of the paper's special
+    graphs into the hard regime of its random models, which is exactly
+    the axis the compaction heuristic cares about. *)
+
+type params = {
+  n : int;  (** >= 3 *)
+  k : int;  (** Neighbours per side; [1 <= k] and [2 k < n]. *)
+  beta : float;  (** Rewiring probability in [0, 1]. *)
+}
+
+val generate : Gb_prng.Rng.t -> params -> Gb_graph.Csr.t
+(** Close to [n * k] edges: a rewired edge that cannot find a fresh
+    endpoint falls back to its lattice position, and the rare collision
+    of a rewired edge with a still-unbuilt lattice edge merges (the
+    only way the count drops below [n * k]).
+    @raise Invalid_argument on out-of-range parameters. *)
+
+val validate_params : params -> unit

@@ -1,0 +1,1 @@
+lib/partition/bisection.ml: Array Format Gb_graph

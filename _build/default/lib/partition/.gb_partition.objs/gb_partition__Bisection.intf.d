@@ -1,0 +1,1 @@
+lib/partition/bisection.mli: Format Gb_graph

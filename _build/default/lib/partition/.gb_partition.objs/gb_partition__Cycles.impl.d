@@ -1,0 +1,1 @@
+lib/partition/cycles.ml: Array Bisection Gb_graph List

@@ -1,0 +1,1 @@
+lib/partition/cycles.mli: Bisection Gb_graph

@@ -1,0 +1,1 @@
+lib/partition/exact.ml: Array Bisection Gb_graph List

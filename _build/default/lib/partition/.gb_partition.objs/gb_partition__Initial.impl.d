@@ -1,0 +1,1 @@
+lib/partition/initial.ml: Array Gb_graph Gb_prng List

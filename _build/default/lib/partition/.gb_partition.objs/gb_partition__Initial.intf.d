@@ -1,0 +1,1 @@
+lib/partition/initial.mli: Gb_graph Gb_prng

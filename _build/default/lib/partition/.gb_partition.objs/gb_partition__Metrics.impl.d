@@ -1,0 +1,1 @@
+lib/partition/metrics.ml: Array Bisection Format Gb_graph Queue

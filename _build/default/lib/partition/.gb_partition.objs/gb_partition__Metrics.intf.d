@@ -1,0 +1,1 @@
+lib/partition/metrics.mli: Format Gb_graph

@@ -1,0 +1,1 @@
+lib/partition/spectral.ml: Array Bisection Float Gb_graph

@@ -1,0 +1,1 @@
+lib/partition/spectral.mli: Bisection Gb_graph

@@ -1,0 +1,1 @@
+lib/partition/tree_exact.ml: Array Bisection Gb_graph List Queue

@@ -1,0 +1,1 @@
+lib/partition/tree_exact.mli: Bisection Gb_graph

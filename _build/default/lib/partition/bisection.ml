@@ -1,0 +1,117 @@
+module Csr = Gb_graph.Csr
+
+let validate_sides g side =
+  if Array.length side <> Csr.n_vertices g then
+    invalid_arg "Bisection: side array length mismatch";
+  if Array.exists (fun s -> s <> 0 && s <> 1) side then
+    invalid_arg "Bisection: sides must be 0 or 1"
+
+let compute_cut g side =
+  let cut = ref 0 in
+  Csr.iter_edges g (fun u v w -> if side.(u) <> side.(v) then cut := !cut + w);
+  !cut
+
+let side_counts side =
+  let ones = Array.fold_left ( + ) 0 side in
+  (Array.length side - ones, ones)
+
+let side_weights g side =
+  let w0 = ref 0 and w1 = ref 0 in
+  Array.iteri
+    (fun v s ->
+      let w = Csr.vertex_weight g v in
+      if s = 0 then w0 := !w0 + w else w1 := !w1 + w)
+    side;
+  (!w0, !w1)
+
+let gain g side v =
+  Csr.fold_neighbors g v ~init:0 ~f:(fun acc u w ->
+      if side.(u) = side.(v) then acc - w else acc + w)
+
+let all_gains g side =
+  let gains = Array.make (Csr.n_vertices g) 0 in
+  Csr.iter_edges g (fun u v w ->
+      if side.(u) = side.(v) then begin
+        gains.(u) <- gains.(u) - w;
+        gains.(v) <- gains.(v) - w
+      end
+      else begin
+        gains.(u) <- gains.(u) + w;
+        gains.(v) <- gains.(v) + w
+      end);
+  gains
+
+let swap_gain g side a b =
+  if side.(a) = side.(b) then invalid_arg "Bisection.swap_gain: same side";
+  gain g side a + gain g side b - (2 * Csr.edge_weight g a b)
+
+let is_count_balanced side =
+  let c0, c1 = side_counts side in
+  abs (c0 - c1) <= 1
+
+type t = {
+  graph : Csr.t;
+  side_arr : int array;
+  cut_val : int;
+  counts_val : int * int;
+  weights_val : int * int;
+}
+
+let of_sides g side =
+  validate_sides g side;
+  let side = Array.copy side in
+  {
+    graph = g;
+    side_arr = side;
+    cut_val = compute_cut g side;
+    counts_val = side_counts side;
+    weights_val = side_weights g side;
+  }
+
+let sides t = Array.copy t.side_arr
+let side t v = t.side_arr.(v)
+let cut t = t.cut_val
+let counts t = t.counts_val
+let weights t = t.weights_val
+let graph t = t.graph
+let is_balanced t = is_count_balanced t.side_arr
+
+let pp fmt t =
+  let c0, c1 = t.counts_val in
+  Format.fprintf fmt "bisection: cut %d, sides %d/%d%s" t.cut_val c0 c1
+    (if is_balanced t then "" else " (UNBALANCED)")
+
+let rebalance_in_place g side =
+  validate_sides g side;
+  let c0, c1 = side_counts side in
+  let c0 = ref c0 and c1 = ref c1 in
+  (* Maintain gains incrementally: moving u flips the contribution of
+     each incident edge, changing neighbour gains by +-2w. *)
+  let gains = all_gains g side in
+  let n = Array.length side in
+  while abs (!c0 - !c1) >= 2 do
+    let from_side = if !c0 > !c1 then 0 else 1 in
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if side.(v) = from_side && (!best < 0 || gains.(v) > gains.(!best)) then best := v
+    done;
+    let v = !best in
+    side.(v) <- 1 - from_side;
+    if from_side = 0 then begin
+      decr c0;
+      incr c1
+    end
+    else begin
+      decr c1;
+      incr c0
+    end;
+    gains.(v) <- -gains.(v);
+    Csr.iter_neighbors g v (fun u w ->
+        if side.(u) = side.(v) then gains.(u) <- gains.(u) - (2 * w)
+        else gains.(u) <- gains.(u) + (2 * w))
+  done
+
+let rebalance g side =
+  let side = Array.copy side in
+  rebalance_in_place g side;
+  side

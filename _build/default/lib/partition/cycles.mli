@@ -1,0 +1,36 @@
+(** Exact O(n²) bisection of degree-2 graphs (disjoint unions of cycles).
+
+    Paper §VI: under [Gbreg(2n, b, 2)] "graphs of degree two must
+    consist only of a collection of cordless cycles ... one could solve
+    the problem exactly in time O(n²) for these graphs". This module is
+    that solver.
+
+    Structure: in a disjoint union of cycles, side A consists of a set
+    of whole cycles plus, from each {e split} cycle, one or more arcs;
+    each arc costs exactly 2 cut edges, and a single arc per split
+    cycle is always at least as good as several. So the minimum cut is
+    [2 * s*] where [s*] is the least number of split cycles needed to
+    make the sizes work: choose whole cycles summing to [x] and [s]
+    split cycles contributing arcs of any lengths [1 .. c_j - 1] with
+    [x + arcs = n]. Minimising [s] is a knapsack-style DP over cycles,
+    O(n) states x O(total length) transitions = O(n²), as the paper
+    says.
+
+    Works for any disjoint union of simple cycles, including odd vertex
+    counts (side sizes then differ by one). *)
+
+val is_cycle_collection : Gb_graph.Csr.t -> bool
+(** 2-regular and simple (every component a chordless cycle). *)
+
+val cycle_lengths : Gb_graph.Csr.t -> int list
+(** Lengths of the cycles, in discovery order.
+    @raise Invalid_argument if the graph is not a cycle collection. *)
+
+val bisection_width : Gb_graph.Csr.t -> int
+(** The exact minimum cut over balanced bisections: [2 * s*].
+    @raise Invalid_argument if the graph is not a cycle collection. *)
+
+val best_bisection : Gb_graph.Csr.t -> Bisection.t
+(** A balanced bisection achieving {!bisection_width}: whole cycles are
+    assigned atomically and each split cycle contributes one contiguous
+    arc, so every cut edge is accounted for. *)

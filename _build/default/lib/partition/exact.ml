@@ -1,0 +1,60 @@
+module Csr = Gb_graph.Csr
+
+(* Branch and bound over assignments in descending-degree order. The
+   running cut counts edges between already-assigned vertices on
+   opposite sides; it can only grow, so cut >= incumbent prunes. *)
+let solve ?(limit = 30) g =
+  let n = Csr.n_vertices g in
+  if n > limit then invalid_arg "Exact: graph too large (raise ~limit to force)";
+  if n = 0 then (0, [||])
+  else begin
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare (Csr.degree g b) (Csr.degree g a)) order;
+    let rank = Array.make n 0 in
+    Array.iteri (fun i v -> rank.(v) <- i) order;
+    (* Adjacency among earlier-ranked vertices only, pre-extracted. *)
+    let earlier = Array.make n [] in
+    Csr.iter_edges g (fun u v w ->
+        let ru = rank.(u) and rv = rank.(v) in
+        if ru < rv then earlier.(rv) <- (ru, w) :: earlier.(rv)
+        else earlier.(ru) <- (rv, w) :: earlier.(ru));
+    let cap0 = (n + 1) / 2 and cap1 = n / 2 in
+    let side = Array.make n (-1) in
+    let best_cut = ref max_int in
+    let best_side = Array.make n 0 in
+    let rec assign i cut c0 c1 =
+      if cut < !best_cut then begin
+        if i = n then begin
+          best_cut := cut;
+          Array.iteri (fun j s -> best_side.(order.(j)) <- s) side
+        end
+        else begin
+          let delta s =
+            List.fold_left
+              (fun acc (j, w) -> if side.(j) <> s then acc + w else acc)
+              0 earlier.(i)
+          in
+          if c0 < cap0 then begin
+            side.(i) <- 0;
+            assign (i + 1) (cut + delta 0) (c0 + 1) c1
+          end;
+          (* Mirror symmetry only exists when the side capacities are
+             equal (even n); pinning the first vertex for odd n would
+             wrongly force it into the larger side. *)
+          if c1 < cap1 && (i > 0 || cap0 <> cap1) then begin
+            side.(i) <- 1;
+            assign (i + 1) (cut + delta 1) c0 (c1 + 1)
+          end;
+          side.(i) <- -1
+        end
+      end
+    in
+    assign 0 0 0 0;
+    (!best_cut, best_side)
+  end
+
+let bisection_width ?limit g = fst (solve ?limit g)
+
+let best_bisection ?limit g =
+  let _, side = solve ?limit g in
+  Bisection.of_sides g side

@@ -1,0 +1,19 @@
+(** Exact minimum bisection by branch and bound.
+
+    Exponential, intended for graphs of up to ~28 vertices; serves as
+    the oracle against which the heuristics are tested (KL/SA results
+    on small graphs must never beat it, and on the classic families
+    must match the known widths it confirms).
+
+    Vertices are assigned in descending-degree order; a branch is cut
+    when its running cut already meets the incumbent or a side exceeds
+    half the vertices. Vertex 0 of the ordering is pinned to side 0 to
+    break the mirror symmetry. *)
+
+val bisection_width : ?limit:int -> Gb_graph.Csr.t -> int
+(** [bisection_width g] is the exact minimum cut over balanced (count)
+    bisections. [limit] (default 30) bounds the vertex count accepted.
+    @raise Invalid_argument if [Csr.n_vertices g > limit]. *)
+
+val best_bisection : ?limit:int -> Gb_graph.Csr.t -> Bisection.t
+(** The argmin itself. *)

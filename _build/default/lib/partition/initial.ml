@@ -1,0 +1,63 @@
+module Rng = Gb_prng.Rng
+module Csr = Gb_graph.Csr
+
+let random rng g =
+  let n = Csr.n_vertices g in
+  let perm = Rng.permutation rng n in
+  let side = Array.make n 1 in
+  for i = 0 to (n / 2) - 1 do
+    side.(perm.(i)) <- 0
+  done;
+  side
+
+(* Shared traversal-prefix construction: take the first n/2 vertices in
+   the visit order as side 0. [next_frontier] decides the queue
+   discipline (FIFO = BFS, LIFO = DFS). *)
+let grow ~lifo rng g =
+  let n = Csr.n_vertices g in
+  let side = Array.make n 1 in
+  let seen = Array.make n false in
+  let target = n / 2 in
+  let taken = ref 0 in
+  let frontier = ref [] and back = ref [] in
+  let push v = if lifo then frontier := v :: !frontier else back := v :: !back in
+  let pop () =
+    match !frontier with
+    | v :: rest ->
+        frontier := rest;
+        Some v
+    | [] -> (
+        match List.rev !back with
+        | [] -> None
+        | v :: rest ->
+            frontier := rest;
+            back := [];
+            Some v)
+  in
+  let seeds = Rng.permutation rng n in
+  let seed_idx = ref 0 in
+  while !taken < target do
+    (match pop () with
+    | Some v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          side.(v) <- 0;
+          incr taken;
+          if !taken < target then
+            Csr.iter_neighbors g v (fun u _ -> if not seen.(u) then push u)
+        end
+    | None ->
+        (* Current component exhausted: restart from a fresh vertex. *)
+        while seen.(seeds.(!seed_idx)) do
+          incr seed_idx
+        done;
+        push seeds.(!seed_idx))
+  done;
+  side
+
+let bfs_grow rng g = grow ~lifo:false rng g
+let dfs_stripe rng g = grow ~lifo:true rng g
+
+let halves g =
+  let n = Csr.n_vertices g in
+  Array.init n (fun v -> if v < (n + 1) / 2 then 0 else 1)

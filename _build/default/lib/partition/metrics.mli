@@ -1,0 +1,33 @@
+(** Partition quality metrics beyond the raw cut.
+
+    The paper reports cut size and time only; a production partitioner
+    also reports balance, boundary size and conductance-style ratios,
+    and a reproduction needs them to {e diagnose} results (e.g. "SA's
+    cut is small but its boundary is scattered"). All functions take a
+    validated 0/1 side array. *)
+
+type t = {
+  cut : int;  (** Weighted cut. *)
+  counts : int * int;
+  weights : int * int;  (** Vertex-weight totals. *)
+  imbalance : float;
+      (** [max(w0, w1) / (total / 2) - 1]; 0 = perfectly weight-balanced. *)
+  boundary_vertices : int;  (** Vertices with at least one cut edge. *)
+  internal_edges : int * int;  (** Edge weight fully inside each side. *)
+  conductance : float;
+      (** [cut / min(vol0, vol1)] with [vol] the weighted-degree sum;
+          0 when a side has no volume. *)
+  components_within : int * int;
+      (** Connected components induced inside each side (1 = the side
+          is connected — what a placement actually wants). *)
+}
+
+val compute : Gb_graph.Csr.t -> int array -> t
+(** @raise Invalid_argument on an invalid side array. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable report. *)
+
+val compare_cuts : t -> t -> int
+(** Order by cut, then imbalance, then boundary size (for ranking
+    algorithm outputs). *)

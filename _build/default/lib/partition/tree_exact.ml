@@ -1,0 +1,204 @@
+module Csr = Gb_graph.Csr
+
+let inf = max_int / 4
+
+(* Rooted-tree scaffolding for one component: BFS order guarantees
+   parents precede children, so a reverse sweep is a post-order. *)
+type rooted = {
+  order : int array; (* BFS order, root first *)
+  parent : int array; (* parent in the rooted tree, -1 at the root *)
+}
+
+let root_component g ~root ~seen =
+  let parent = Array.make (Csr.n_vertices g) (-1) in
+  let order = ref [] in
+  let queue = Queue.create () in
+  seen.(root) <- true;
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    order := v :: !order;
+    Csr.iter_neighbors g v (fun u _ ->
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          parent.(u) <- v;
+          Queue.add u queue
+        end)
+  done;
+  { order = Array.of_list (List.rev !order); parent }
+
+let check_forest g =
+  let n = Csr.n_vertices g in
+  let _, components = Gb_graph.Traverse.components g in
+  if Csr.n_edges g <> n - components then
+    invalid_arg "Tree_exact: graph contains a cycle"
+
+(* Merge an option table into an accumulating table.
+   acc.(k) = min cost with k accumulated vertices on the reference side;
+   options.(t) = min cost for the next piece to contribute t vertices. *)
+let knapsack acc options =
+  let na = Array.length acc and nc = Array.length options in
+  let out = Array.make (na + nc - 1) inf in
+  for k = 0 to na - 1 do
+    if acc.(k) < inf then
+      for t = 0 to nc - 1 do
+        if options.(t) < inf then begin
+          let c = acc.(k) + options.(t) in
+          if c < out.(k + t) then out.(k + t) <- c
+        end
+      done
+  done;
+  out
+
+(* Find a split of target [x] realised by the merge [next = acc x options].
+   Returns the contribution t of the options piece. *)
+let backtrack_split acc options next x =
+  let found = ref (-1) in
+  (try
+     for t = 0 to Array.length options - 1 do
+       let k = x - t in
+       if
+         k >= 0
+         && k < Array.length acc
+         && acc.(k) < inf
+         && options.(t) < inf
+         && acc.(k) + options.(t) = next.(x)
+       then begin
+         found := t;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  assert (!found >= 0);
+  !found
+
+(* Option table of a child with dp table [dc] (indexed by the count on
+   the child's own side): contribute t to the parent's side either
+   aligned (cost dc.(t)) or flipped (cost dc.(size - t) + 1 for the
+   severed tree edge). *)
+let child_options dc =
+  let size = Array.length dc - 1 in
+  Array.init (size + 1) (fun t ->
+      let aligned = dc.(t) in
+      let flipped = if dc.(size - t) < inf then dc.(size - t) + 1 else inf in
+      min aligned flipped)
+
+let children_of g rooted v =
+  let acc = ref [] in
+  Csr.iter_neighbors g v (fun u _ -> if rooted.parent.(u) = v then acc := u :: !acc);
+  List.rev !acc
+
+(* dp tables for every vertex of a rooted component. dp.(v).(k): min cut
+   of v's subtree with k subtree vertices on v's own side (k >= 1). *)
+let component_tables g rooted =
+  let n = Csr.n_vertices g in
+  let dp = Array.make n [||] in
+  let order = rooted.order in
+  for i = Array.length order - 1 downto 0 do
+    let v = order.(i) in
+    let table = ref [| inf; 0 |] in
+    List.iter
+      (fun u -> table := knapsack !table (child_options dp.(u)))
+      (children_of g rooted v);
+    dp.(v) <- !table
+  done;
+  dp
+
+let decompose g =
+  let n = Csr.n_vertices g in
+  let seen = Array.make n false in
+  let components = ref [] in
+  for v = 0 to n - 1 do
+    if not seen.(v) then components := root_component g ~root:v ~seen :: !components
+  done;
+  List.rev !components
+
+(* A whole tree contributes t vertices to side 0 by orienting the root's
+   side either way, at no extra cost. *)
+let tree_options root_dp =
+  let size = Array.length root_dp - 1 in
+  Array.init (size + 1) (fun t -> min root_dp.(t) root_dp.(size - t))
+
+let bisection_width g =
+  check_forest g;
+  let n = Csr.n_vertices g in
+  if n = 0 then 0
+  else begin
+    let components = decompose g in
+    let f =
+      List.fold_left
+        (fun acc r ->
+          let dp = component_tables g r in
+          knapsack acc (tree_options dp.(r.order.(0))))
+        [| 0 |] components
+    in
+    f.(n / 2)
+  end
+
+(* Assign sides below [v]: its dp target [k] (vertices of v's subtree on
+   v's own side) and the global side of v's side. Children are
+   backtracked through the same prefix-knapsack chain used to build
+   dp.(v), walked from the last child backwards. *)
+let rec assign g rooted dp side v k v_side =
+  side.(v) <- v_side;
+  let children = children_of g rooted v in
+  let chain =
+    (* (acc, options, next, child) with the LAST child at the head *)
+    List.fold_left
+      (fun acc_list c ->
+        let acc =
+          match acc_list with [] -> [| inf; 0 |] | (_, _, next, _) :: _ -> next
+        in
+        let options = child_options dp.(c) in
+        (acc, options, knapsack acc options, c) :: acc_list)
+      [] children
+  in
+  let remaining = ref k in
+  List.iter
+    (fun (acc, options, next, c) ->
+      let t = backtrack_split acc options next !remaining in
+      let dc = dp.(c) in
+      let csize = Array.length dc - 1 in
+      let aligned_cost = dc.(t) in
+      let flipped_cost = if dc.(csize - t) < inf then dc.(csize - t) + 1 else inf in
+      if aligned_cost <= flipped_cost then assign g rooted dp side c t v_side
+      else assign g rooted dp side c (csize - t) (1 - v_side);
+      remaining := !remaining - t)
+    chain;
+  assert (!remaining = 1)
+
+let best_bisection g =
+  check_forest g;
+  let n = Csr.n_vertices g in
+  let side = Array.make n 1 in
+  if n > 0 then begin
+    let components = decompose g in
+    let with_dp = List.map (fun r -> (r, component_tables g r)) components in
+    (* Forest knapsack with the same backtrackable chain shape. *)
+    let chain =
+      List.fold_left
+        (fun acc_list (r, dp) ->
+          let acc = match acc_list with [] -> [| 0 |] | (_, _, next, _) :: _ -> next in
+          let options = tree_options dp.(r.order.(0)) in
+          (acc, options, knapsack acc options, (r, dp)) :: acc_list)
+        [] with_dp
+    in
+    let remaining = ref (n / 2) in
+    List.iter
+      (fun (acc, options, next, (r, dp)) ->
+        let t = backtrack_split acc options next !remaining in
+        let root = r.order.(0) in
+        let root_dp = dp.(root) in
+        let size = Array.length root_dp - 1 in
+        (* orient the root's side to whichever realises cost options.(t) *)
+        if root_dp.(t) <= root_dp.(size - t) then
+          (* root's side is global side 0 and holds t vertices *)
+          assign g r dp side root t 0
+        else
+          (* root's side is global side 1 and holds size - t vertices *)
+          assign g r dp side root (size - t) 1;
+        remaining := !remaining - t)
+      chain;
+    assert (!remaining = 0)
+  end;
+  Bisection.of_sides g side

@@ -1,0 +1,26 @@
+(** Exact bisection of trees (and forests) in polynomial time.
+
+    Trees are one of the paper's special families (binary trees, Table
+    1 / appendix E-A3); unlike general graphs their minimum bisection
+    is computable exactly by dynamic programming: root each tree, and
+    for every vertex fold its children with the knapsack
+
+    [dp_v(k) = min cut of v's subtree with exactly k subtree vertices
+    on v's own side],
+
+    combining a child [c] either on [v]'s side (merge at matching
+    counts) or on the other side (add 1 for the tree edge and flip the
+    child's table — the child's "own side" becomes the far side).
+    O(n²) time and O(n · height) space — comfortably exact at the
+    paper's 4095-vertex trees, giving the tree tables a true optimum
+    column instead of folklore.
+
+    Rejects graphs with cycles. Forests are handled by an outer
+    knapsack over per-tree tables. *)
+
+val bisection_width : Gb_graph.Csr.t -> int
+(** Exact minimum balanced-cut of a forest.
+    @raise Invalid_argument if the graph has a cycle (m >= n - c). *)
+
+val best_bisection : Gb_graph.Csr.t -> Bisection.t
+(** A balanced bisection achieving {!bisection_width}. *)

@@ -1,0 +1,1 @@
+lib/prng/lfg.ml: Array

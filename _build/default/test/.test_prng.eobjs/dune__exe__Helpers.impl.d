@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Format Gbisect List Printf QCheck2 QCheck_alcotest String

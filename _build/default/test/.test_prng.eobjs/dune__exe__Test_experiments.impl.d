@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Gb_experiments Gbisect Helpers List String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Float Fun Gbisect Helpers List Printf QCheck2 String

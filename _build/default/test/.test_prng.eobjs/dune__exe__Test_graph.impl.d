@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Filename Fun Gbisect Helpers List Sys

@@ -1,0 +1,1 @@
+test/test_hyper.ml: Alcotest Array Fun Gbisect Helpers List Printf QCheck2 String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Filename Fun Gbisect Helpers List Printf Sys Unix

@@ -1,0 +1,1 @@
+test/test_kl.ml: Alcotest Array Gbisect Hashtbl Helpers List Printf

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Gbisect Helpers List Printf

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Format Fun Gbisect Helpers List Printf

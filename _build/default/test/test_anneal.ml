@@ -1,0 +1,326 @@
+(* Tests for the annealing schedule, the generic SA engine (on a toy
+   problem with a known optimum) and the bisection instance. *)
+
+module Schedule = Gbisect.Schedule
+module Sa = Gbisect.Sa
+module Sa_bisect = Gbisect.Sa_bisect
+module Graph = Gbisect.Graph
+module Classic = Gbisect.Classic
+module Bisection = Gbisect.Bisection
+module Rng = Gbisect.Rng
+
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+(* --- Schedule ------------------------------------------------------------ *)
+
+let schedule_tests =
+  [
+    case "default validates" (fun () -> Schedule.validate Schedule.default);
+    case "quick and thorough validate" (fun () ->
+        Schedule.validate Schedule.quick;
+        Schedule.validate Schedule.thorough);
+    case "bad fields are rejected" (fun () ->
+        let bad fields name =
+          match Schedule.validate fields with
+          | exception Invalid_argument _ -> ()
+          | () -> Alcotest.failf "accepted %s" name
+        in
+        bad { Schedule.default with cooling = 1.0 } "cooling 1";
+        bad { Schedule.default with cooling = 0.0 } "cooling 0";
+        bad { Schedule.default with size_factor = 0 } "size_factor 0";
+        bad { Schedule.default with min_acceptance = 1.0 } "min_acceptance 1";
+        bad { Schedule.default with frozen_after = 0 } "frozen_after 0";
+        bad { Schedule.default with max_temperatures = 0 } "max_temperatures 0";
+        bad
+          { Schedule.default with initial_temperature = Schedule.Fixed_temperature 0. }
+          "fixed 0";
+        bad
+          { Schedule.default with initial_temperature = Schedule.Calibrate 1.0 }
+          "calibrate 1");
+  ]
+
+(* --- Generic engine on a toy problem -------------------------------------- *)
+
+(* Toy problem: state is an int array of +-1 spins; cost is the number of
+   spins different from a hidden target; moves flip one spin. SA must
+   drive the cost to 0 with a slow enough schedule (no local optima). *)
+module Toy = struct
+  type state = { target : int array; spins : int array }
+  type move = int
+
+  let size st = Array.length st.spins
+
+  let cost st =
+    let c = ref 0 in
+    Array.iteri (fun i s -> if s <> st.target.(i) then incr c) st.spins;
+    float_of_int !c
+
+  let random_move rng st = Rng.int rng (Array.length st.spins)
+
+  let delta st i = if st.spins.(i) = st.target.(i) then 1.0 else -1.0
+
+  let apply st i = st.spins.(i) <- -st.spins.(i)
+  let feasible _ = true
+  let snapshot st = { st with spins = Array.copy st.spins }
+end
+
+module Toy_engine = Sa.Make (Toy)
+
+let toy_state rng n =
+  let target = Array.init n (fun _ -> if Rng.bool rng then 1 else -1) in
+  let spins = Array.init n (fun _ -> if Rng.bool rng then 1 else -1) in
+  { Toy.target; spins }
+
+let engine_tests =
+  [
+    case "toy problem is solved to optimality" (fun () ->
+        let rng = Helpers.rng () in
+        let st = toy_state rng 60 in
+        let result = Toy_engine.run rng st in
+        Alcotest.(check (float 0.0)) "optimal" 0.0 result.Toy_engine.best_cost);
+    case "best state is a snapshot, not an alias" (fun () ->
+        let rng = Helpers.rng () in
+        let st = toy_state rng 30 in
+        let result = Toy_engine.run rng st in
+        check_bool "distinct arrays" true
+          (result.Toy_engine.best.Toy.spins != result.Toy_engine.final.Toy.spins
+          || result.Toy_engine.best == result.Toy_engine.final));
+    case "stats counters are coherent" (fun () ->
+        let rng = Helpers.rng () in
+        let st = toy_state rng 40 in
+        let result = Toy_engine.run rng st in
+        let s = result.Toy_engine.stats in
+        check_bool "attempted > 0" true (s.Sa.attempted > 0);
+        check_bool "accepted <= attempted" true (s.Sa.accepted <= s.Sa.attempted);
+        check_bool "uphill <= accepted" true (s.Sa.uphill_accepted <= s.Sa.accepted);
+        check_bool "temperatures > 0" true (s.Sa.temperatures > 0);
+        check_bool "temperature decreased" true
+          (s.Sa.final_temperature <= s.Sa.initial_temperature));
+    case "max_temperatures cap is honoured" (fun () ->
+        let rng = Helpers.rng () in
+        let st = toy_state rng 20 in
+        let schedule = { Schedule.default with max_temperatures = 3 } in
+        let result = Toy_engine.run ~schedule rng st in
+        check_bool "stopped at cap" true (result.Toy_engine.stats.Sa.temperatures <= 3);
+        check_bool "not flagged frozen" true (not result.Toy_engine.stats.Sa.frozen));
+    case "trace fires once per temperature" (fun () ->
+        let rng = Helpers.rng () in
+        let st = toy_state rng 20 in
+        let calls = ref 0 in
+        let trace ~temperature:_ ~acceptance:_ ~best_cost:_ = incr calls in
+        let result = Toy_engine.run ~trace rng st in
+        check_int "trace count" result.Toy_engine.stats.Sa.temperatures !calls);
+    case "fixed initial temperature is used" (fun () ->
+        let rng = Helpers.rng () in
+        let st = toy_state rng 20 in
+        let schedule =
+          { Schedule.default with initial_temperature = Schedule.Fixed_temperature 3.25 }
+        in
+        let result = Toy_engine.run ~schedule rng st in
+        Alcotest.(check (float 1e-9)) "t0" 3.25
+          result.Toy_engine.stats.Sa.initial_temperature);
+    case "high fixed temperature accepts most uphill moves" (fun () ->
+        let rng = Helpers.rng () in
+        let st = toy_state rng 40 in
+        let schedule =
+          {
+            Schedule.default with
+            initial_temperature = Schedule.Fixed_temperature 100.;
+            max_temperatures = 1;
+          }
+        in
+        let result = Toy_engine.run ~schedule rng st in
+        let s = result.Toy_engine.stats in
+        let ratio = float_of_int s.Sa.accepted /. float_of_int s.Sa.attempted in
+        check_bool (Printf.sprintf "acceptance %.2f > 0.9" ratio) true (ratio > 0.9));
+  ]
+
+(* --- Bisection instance ------------------------------------------------------ *)
+
+let quick_config =
+  { Sa_bisect.imbalance_factor = 0.05; schedule = Schedule.quick }
+
+let sa_bisect_tests =
+  [
+    case "result is balanced and cut-consistent" (fun () ->
+        let g = Classic.grid ~rows:6 ~cols:6 in
+        let b, stats = Sa_bisect.run ~config:quick_config (Helpers.rng ()) g in
+        Helpers.check_bisection_consistent g b;
+        check_bool "balanced" true (Bisection.is_balanced b);
+        check_int "final_cut stat" (Bisection.cut b) stats.Sa_bisect.final_cut);
+    case "solves a two-cliques instance" (fun () ->
+        (* Two K8s joined by one edge: optimal cut 1, found reliably. *)
+        let edges = ref [] in
+        for u = 0 to 7 do
+          for v = u + 1 to 7 do
+            edges := (u, v) :: (8 + u, 8 + v) :: !edges
+          done
+        done;
+        edges := (0, 8) :: !edges;
+        let g = Graph.of_unweighted_edges ~n:16 !edges in
+        let best = ref max_int in
+        for seed = 1 to 5 do
+          let b, _ = Sa_bisect.run ~config:quick_config (Helpers.rng ~seed ()) g in
+          best := min !best (Bisection.cut b)
+        done;
+        check_int "optimum" 1 !best);
+    case "never beats the exact width on small graphs" (fun () ->
+        for seed = 1 to 15 do
+          let r = Helpers.rng ~seed () in
+          let g = Gbisect.Gnp.generate r ~n:12 ~p:0.3 in
+          let opt = Gbisect.Exact.bisection_width g in
+          let b, _ = Sa_bisect.run ~config:quick_config r g in
+          check_bool "sa >= opt" true (Bisection.cut b >= opt)
+        done);
+    case "refine from the planted bisection stays at or below it" (fun () ->
+        let params = Gbisect.Bregular.{ two_n = 200; b = 4; d = 4 } in
+        let g = Gbisect.Bregular.generate (Helpers.rng ()) params in
+        let planted = Gbisect.Bregular.planted_sides params in
+        let side, _ = Sa_bisect.refine ~config:quick_config (Helpers.rng ()) g planted in
+        check_bool "no worse than planted" true (Bisection.compute_cut g side <= 4));
+    case "unbalanced start is rejected" (fun () ->
+        let g = Classic.path 4 in
+        Alcotest.check_raises "unbalanced"
+          (Invalid_argument "Sa_bisect: input bisection is not balanced") (fun () ->
+            ignore (Sa_bisect.refine (Helpers.rng ()) g [| 0; 0; 0; 1 |])));
+    case "non-positive imbalance factor is rejected" (fun () ->
+        let g = Classic.path 4 in
+        let config = { quick_config with Sa_bisect.imbalance_factor = 0. } in
+        Alcotest.check_raises "alpha"
+          (Invalid_argument "Sa_bisect: imbalance_factor must be positive") (fun () ->
+            ignore (Sa_bisect.refine ~config (Helpers.rng ()) g [| 0; 0; 1; 1 |])));
+    case "odd vertex counts stay within slack" (fun () ->
+        let g = Classic.path 9 in
+        let b, _ = Sa_bisect.run ~config:quick_config (Helpers.rng ()) g in
+        let c0, c1 = Bisection.counts b in
+        check_bool "within 1" true (abs (c0 - c1) <= 1));
+    case "weighted coarse graphs anneal too" (fun () ->
+        let g =
+          Graph.of_edges ~vertex_weights:[| 2; 2; 1; 1 |] ~n:4
+            [ (0, 1, 3); (1, 2, 1); (2, 3, 2); (3, 0, 1) ]
+        in
+        let b, _ = Sa_bisect.run ~config:quick_config (Helpers.rng ()) g in
+        check_bool "balanced by count" true (Bisection.is_balanced b));
+  ]
+
+let sa_bisect_properties =
+  [
+    Helpers.qtest ~count:40 "sa returns balanced bisections on random graphs"
+      (Helpers.gen_even_graph ~max_n:20 ()) (fun g ->
+        let b, _ = Sa_bisect.run ~config:quick_config (Helpers.rng ()) g in
+        Bisection.is_balanced b);
+    Helpers.qtest ~count:40 "delta matches cost difference on the problem state"
+      (Helpers.gen_even_graph ~max_n:20 ()) (fun g ->
+        (* The engine trusts Problem.delta; cross-check it against the
+           actual cost change for random flips via refine's public
+           behaviour: annealing from a balanced start cannot yield a
+           negative cut or break vertex conservation. *)
+        let b, stats = Sa_bisect.run ~config:quick_config (Helpers.rng ()) g in
+        Bisection.cut b >= 0 && stats.Sa_bisect.final_cut = Bisection.cut b);
+  ]
+
+(* --- Cutoff -------------------------------------------------------------- *)
+
+let cutoff_tests =
+  [
+    case "cutoff field validates" (fun () ->
+        Schedule.validate { Schedule.default with cutoff = 0.5 };
+        match Schedule.validate { Schedule.default with cutoff = 0. } with
+        | exception Invalid_argument _ -> ()
+        | () -> Alcotest.fail "accepted cutoff 0");
+    case "cutoff reduces attempted moves in the hot phase" (fun () ->
+        let rng = Helpers.rng () in
+        let st_full = toy_state rng 50 in
+        let st_cut = { Toy.target = Array.copy st_full.Toy.target;
+                       spins = Array.copy st_full.Toy.spins } in
+        let run cutoff st =
+          let schedule =
+            { Schedule.default with cutoff; max_temperatures = 10;
+              initial_temperature = Schedule.Fixed_temperature 50. }
+          in
+          (Toy_engine.run ~schedule (Helpers.rng ~seed:3 ()) st).Toy_engine.stats
+        in
+        let full = run 1.0 st_full and cut = run 0.1 st_cut in
+        check_bool
+          (Printf.sprintf "attempted %d < %d" cut.Sa.attempted full.Sa.attempted)
+          true
+          (cut.Sa.attempted < full.Sa.attempted));
+    case "cutoff does not break bisection quality on an easy instance" (fun () ->
+        let g = Classic.ladder 30 in
+        let config =
+          { Sa_bisect.imbalance_factor = 0.05;
+            schedule = { Schedule.default with cutoff = 0.25 } }
+        in
+        let b, _ = Sa_bisect.run ~config (Helpers.rng ()) g in
+        check_bool "reasonable" true (Bisection.cut b <= 12));
+  ]
+
+(* --- Threshold accepting --------------------------------------------------- *)
+
+module Threshold = Gbisect.Threshold
+
+let threshold_tests =
+  [
+    case "default schedule validates" (fun () ->
+        Threshold.validate Threshold.default_schedule);
+    case "bad schedules rejected" (fun () ->
+        let bad s name =
+          match Threshold.validate s with
+          | exception Invalid_argument _ -> ()
+          | () -> Alcotest.failf "accepted %s" name
+        in
+        bad { Threshold.default_schedule with decay = 1. } "decay 1";
+        bad { Threshold.default_schedule with size_factor = 0 } "size 0";
+        bad { Threshold.default_schedule with frozen_after = 0 } "frozen 0";
+        bad { Threshold.default_schedule with initial_threshold = `Fixed 0. } "fixed 0");
+    case "solves the two-cliques instance" (fun () ->
+        let edges = ref [] in
+        for u = 0 to 7 do
+          for v = u + 1 to 7 do
+            edges := (u, v) :: (8 + u, 8 + v) :: !edges
+          done
+        done;
+        edges := (0, 8) :: !edges;
+        let g = Gbisect.Graph.of_unweighted_edges ~n:16 !edges in
+        let best = ref max_int in
+        for seed = 1 to 5 do
+          let b, _ = Threshold.run (Helpers.rng ~seed ()) g in
+          best := min !best (Bisection.cut b)
+        done;
+        check_int "optimum" 1 !best);
+    case "result is balanced and stats coherent" (fun () ->
+        let g = Classic.grid ~rows:8 ~cols:8 in
+        let b, stats = Threshold.run (Helpers.rng ()) g in
+        check_bool "balanced" true (Bisection.is_balanced b);
+        check_bool "levels > 0" true (stats.Threshold.levels > 0);
+        check_bool "accepted <= attempted" true
+          (stats.Threshold.accepted <= stats.Threshold.attempted);
+        check_bool "threshold decayed" true
+          (stats.Threshold.final_threshold <= stats.Threshold.initial_threshold));
+    case "unbalanced start rejected" (fun () ->
+        let g = Classic.path 4 in
+        Alcotest.check_raises "unbalanced"
+          (Invalid_argument "Threshold: input bisection is not balanced") (fun () ->
+            ignore (Threshold.refine (Helpers.rng ()) g [| 0; 0; 0; 1 |])));
+    case "never beats the exact width on small graphs" (fun () ->
+        for seed = 1 to 10 do
+          let r = Helpers.rng ~seed () in
+          let g = Gbisect.Gnp.generate r ~n:12 ~p:0.3 in
+          let opt = Gbisect.Exact.bisection_width g in
+          let b, _ = Threshold.run r g in
+          check_bool "ta >= opt" true (Bisection.cut b >= opt)
+        done);
+  ]
+
+let () =
+  Alcotest.run "anneal"
+    [
+      ("schedule", schedule_tests);
+      ("engine", engine_tests);
+      ("sa_bisect", sa_bisect_tests);
+      ("sa_bisect properties", sa_bisect_properties);
+      ("cutoff", cutoff_tests);
+      ("threshold accepting", threshold_tests);
+    ]

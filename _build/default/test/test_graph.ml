@@ -1,0 +1,716 @@
+(* Tests for the graph substrate: CSR representation, builder, classic
+   constructors, traversals, IO, matchings and contraction. *)
+
+module Graph = Gbisect.Graph
+module Builder = Gbisect.Builder
+module Classic = Gbisect.Classic
+module Traverse = Gbisect.Traverse
+module Gio = Gbisect.Graph_io
+module Matching = Gbisect.Matching
+module Contraction = Gbisect.Contraction
+module Rng = Gbisect.Rng
+
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+(* --- CSR -------------------------------------------------------------- *)
+
+let triangle () = Graph.of_unweighted_edges ~n:3 [ (0, 1); (1, 2); (0, 2) ]
+
+let csr_tests =
+  [
+    case "empty graph" (fun () ->
+        let g = Graph.empty 5 in
+        Helpers.check_graph_ok g;
+        check_int "n" 5 (Graph.n_vertices g);
+        check_int "m" 0 (Graph.n_edges g);
+        check_int "degree" 0 (Graph.degree g 3);
+        check_bool "regular" true (Graph.is_regular g));
+    case "triangle basics" (fun () ->
+        let g = triangle () in
+        Helpers.check_graph_ok g;
+        check_int "m" 3 (Graph.n_edges g);
+        check_int "degree" 2 (Graph.degree g 1);
+        check_bool "edge 0-1" true (Graph.mem_edge g 0 1);
+        check_bool "edge 1-0 (symmetric)" true (Graph.mem_edge g 1 0);
+        check_int "weight" 1 (Graph.edge_weight g 0 2);
+        check_int "missing weight" 0 (Graph.edge_weight g 0 0));
+    case "parallel edges merge with summed weights" (fun () ->
+        let g = Graph.of_edges ~n:2 [ (0, 1, 2); (1, 0, 3) ] in
+        check_int "m" 1 (Graph.n_edges g);
+        check_int "merged weight" 5 (Graph.edge_weight g 0 1);
+        check_int "total edge weight" 5 (Graph.total_edge_weight g));
+    case "self loops are rejected" (fun () ->
+        Alcotest.check_raises "loop" (Invalid_argument "Csr.of_edges: self-loop")
+          (fun () -> ignore (Graph.of_edges ~n:3 [ (1, 1, 1) ])));
+    case "out-of-range endpoints are rejected" (fun () ->
+        Alcotest.check_raises "range"
+          (Invalid_argument "Csr.of_edges: endpoint out of range") (fun () ->
+            ignore (Graph.of_edges ~n:3 [ (0, 3, 1) ])));
+    case "non-positive weights are rejected" (fun () ->
+        Alcotest.check_raises "weight"
+          (Invalid_argument "Csr.of_edges: non-positive edge weight") (fun () ->
+            ignore (Graph.of_edges ~n:3 [ (0, 1, 0) ])));
+    case "vertex weights flow through" (fun () ->
+        let g = Graph.of_edges ~vertex_weights:[| 2; 3; 4 |] ~n:3 [ (0, 1, 1) ] in
+        check_int "vw" 3 (Graph.vertex_weight g 1);
+        check_int "total" 9 (Graph.total_vertex_weight g);
+        check_bool "not unit" false (Graph.is_unit_weighted g));
+    case "iter_edges visits each edge once with u < v" (fun () ->
+        let g = triangle () in
+        let count = ref 0 in
+        Graph.iter_edges g (fun u v _ ->
+            incr count;
+            check_bool "ordered" true (u < v));
+        check_int "3 edges" 3 !count);
+    case "neighbors are sorted" (fun () ->
+        let g = Graph.of_unweighted_edges ~n:5 [ (2, 4); (2, 0); (2, 3); (2, 1) ] in
+        let ns = Array.map fst (Graph.neighbors g 2) in
+        Alcotest.(check (array int)) "sorted" [| 0; 1; 3; 4 |] ns);
+    case "fold_neighbors accumulates weighted degree" (fun () ->
+        let g = Graph.of_edges ~n:3 [ (0, 1, 2); (0, 2, 5) ] in
+        let sum = Graph.fold_neighbors g 0 ~init:0 ~f:(fun acc _ w -> acc + w) in
+        check_int "weighted degree" 7 sum;
+        check_int "matches weighted_degree" (Graph.weighted_degree g 0) sum);
+    case "degree_histogram of a star" (fun () ->
+        let g = Classic.star 4 in
+        Alcotest.(check (list (pair int int)))
+          "histogram" [ (1, 4); (4, 1) ] (Graph.degree_histogram g));
+    case "min/max/average degree" (fun () ->
+        let g = Classic.star 4 in
+        check_int "max" 4 (Graph.max_degree g);
+        check_int "min" 1 (Graph.min_degree g);
+        Alcotest.(check (float 1e-9)) "avg" 1.6 (Graph.average_degree g));
+    case "equal distinguishes graphs" (fun () ->
+        check_bool "same" true (Graph.equal (triangle ()) (triangle ()));
+        check_bool "different" false
+          (Graph.equal (triangle ()) (Classic.path 3)));
+  ]
+
+let csr_property_tests =
+  [
+    Helpers.qtest "check passes on generated graphs" (Helpers.gen_graph ())
+      (fun g ->
+        Graph.check g;
+        true);
+    Helpers.qtest "edges round-trip through of_edges"
+      (Helpers.gen_weighted_graph ())
+      (fun g ->
+        let rebuilt =
+          Graph.of_edges
+            ~vertex_weights:
+              (Array.init (Graph.n_vertices g) (Graph.vertex_weight g))
+            ~n:(Graph.n_vertices g) (Graph.edges g)
+        in
+        Graph.equal g rebuilt);
+    Helpers.qtest "handshake: sum of degrees = 2m" (Helpers.gen_graph ()) (fun g ->
+        let sum = ref 0 in
+        for v = 0 to Graph.n_vertices g - 1 do
+          sum := !sum + Graph.degree g v
+        done;
+        !sum = 2 * Graph.n_edges g);
+    Helpers.qtest "mem_edge agrees with the edge list" (Helpers.gen_graph ())
+      (fun g ->
+        List.for_all (fun (u, v, _) -> Graph.mem_edge g u v && Graph.mem_edge g v u)
+          (Graph.edges g));
+  ]
+
+(* --- Builder ----------------------------------------------------------- *)
+
+let builder_tests =
+  [
+    case "builds what was added" (fun () ->
+        let b = Builder.create 4 in
+        Builder.add_edge b 0 1;
+        Builder.add_edge b 2 3 ~weight:4;
+        let g = Builder.build b in
+        Helpers.check_graph_ok g;
+        check_int "m" 2 (Graph.n_edges g);
+        check_int "weight kept" 4 (Graph.edge_weight g 2 3));
+    case "duplicate adds sum weights" (fun () ->
+        let b = Builder.create 3 in
+        Builder.add_edge b 0 1;
+        Builder.add_edge b 1 0 ~weight:2;
+        let g = Builder.build b in
+        check_int "merged" 3 (Graph.edge_weight g 0 1));
+    case "add_edge_if_absent reports truthfully" (fun () ->
+        let b = Builder.create 3 in
+        check_bool "first" true (Builder.add_edge_if_absent b 0 1);
+        check_bool "second" false (Builder.add_edge_if_absent b 1 0);
+        check_bool "self-loop" false (Builder.add_edge_if_absent b 2 2);
+        check_int "one edge" 1 (Builder.n_edges b));
+    case "mem_edge tracks state" (fun () ->
+        let b = Builder.create 3 in
+        check_bool "absent" false (Builder.mem_edge b 0 1);
+        Builder.add_edge b 0 1;
+        check_bool "present" true (Builder.mem_edge b 0 1));
+    case "vertex weights apply" (fun () ->
+        let b = Builder.create 2 in
+        Builder.set_vertex_weight b 1 7;
+        let g = Builder.build b in
+        check_int "vw" 7 (Graph.vertex_weight g 1));
+    case "rejects self loops and bad weights" (fun () ->
+        let b = Builder.create 3 in
+        Alcotest.check_raises "loop" (Invalid_argument "Builder.add_edge: self-loop")
+          (fun () -> Builder.add_edge b 1 1);
+        Alcotest.check_raises "weight"
+          (Invalid_argument "Builder.add_edge: non-positive weight") (fun () ->
+            Builder.add_edge b 0 1 ~weight:0);
+        Alcotest.check_raises "vw"
+          (Invalid_argument "Builder.set_vertex_weight: non-positive weight") (fun () ->
+            Builder.set_vertex_weight b 0 0));
+    case "builder is reusable after build" (fun () ->
+        let b = Builder.create 3 in
+        Builder.add_edge b 0 1;
+        let g1 = Builder.build b in
+        Builder.add_edge b 1 2;
+        let g2 = Builder.build b in
+        check_int "g1 unchanged" 1 (Graph.n_edges g1);
+        check_int "g2 extended" 2 (Graph.n_edges g2));
+  ]
+
+(* --- Classic constructors --------------------------------------------- *)
+
+let classic_tests =
+  [
+    case "path: sizes and endpoints" (fun () ->
+        let g = Classic.path 6 in
+        Helpers.check_graph_ok g;
+        check_int "m" 5 (Graph.n_edges g);
+        check_int "end degree" 1 (Graph.degree g 0);
+        check_int "mid degree" 2 (Graph.degree g 3));
+    case "path of one vertex" (fun () ->
+        check_int "no edges" 0 (Graph.n_edges (Classic.path 1)));
+    case "cycle: 2-regular, connected, n edges" (fun () ->
+        let g = Classic.cycle 9 in
+        check_int "m" 9 (Graph.n_edges g);
+        check_bool "regular" true (Graph.is_regular g);
+        check_bool "connected" true (Traverse.is_connected g));
+    case "complete: C(n,2) edges, (n-1)-regular" (fun () ->
+        let g = Classic.complete 7 in
+        check_int "m" 21 (Graph.n_edges g);
+        check_int "degree" 6 (Graph.degree g 0));
+    case "complete_bipartite: a*b edges, bipartite" (fun () ->
+        let g = Classic.complete_bipartite 3 4 in
+        check_int "m" 12 (Graph.n_edges g);
+        check_bool "bipartite" true (Traverse.is_bipartite g));
+    case "star and wheel" (fun () ->
+        check_int "star edges" 6 (Graph.n_edges (Classic.star 6));
+        let w = Classic.wheel 5 in
+        check_int "wheel edges" 10 (Graph.n_edges w);
+        check_int "hub degree" 5 (Graph.degree w 5));
+    case "grid: edge count rows*(cols-1)+cols*(rows-1)" (fun () ->
+        let g = Classic.grid ~rows:4 ~cols:7 in
+        Helpers.check_graph_ok g;
+        check_int "m" ((4 * 6) + (7 * 3)) (Graph.n_edges g);
+        check_bool "connected" true (Traverse.is_connected g);
+        check_bool "bipartite" true (Traverse.is_bipartite g));
+    case "grid 1xN is a path" (fun () ->
+        check_bool "same" true (Graph.equal (Classic.grid ~rows:1 ~cols:5) (Classic.path 5)));
+    case "torus: 2rc edges, 4-regular" (fun () ->
+        let g = Classic.torus ~rows:4 ~cols:5 in
+        check_int "m" 40 (Graph.n_edges g);
+        check_bool "4-regular" true (Graph.is_regular g && Graph.degree g 0 = 4));
+    case "ladder: 3k-2 edges, max degree 3" (fun () ->
+        let g = Classic.ladder 10 in
+        check_int "m" 28 (Graph.n_edges g);
+        check_int "max degree" 3 (Graph.max_degree g);
+        check_bool "connected" true (Traverse.is_connected g));
+    case "circular ladder: 3-regular, 3k edges" (fun () ->
+        let g = Classic.circular_ladder 8 in
+        check_int "m" 24 (Graph.n_edges g);
+        check_bool "3-regular" true (Graph.is_regular g && Graph.degree g 0 = 3));
+    case "binary tree: 2^(d+1)-1 vertices, n-1 edges" (fun () ->
+        let g = Classic.binary_tree ~depth:4 in
+        check_int "n" 31 (Graph.n_vertices g);
+        check_int "m" 30 (Graph.n_edges g);
+        check_bool "connected" true (Traverse.is_connected g);
+        check_int "root degree" 2 (Graph.degree g 0);
+        check_int "leaf degree" 1 (Graph.degree g 30));
+    case "kary tree arity 3" (fun () ->
+        let g = Classic.kary_tree ~arity:3 ~depth:2 in
+        check_int "n" 13 (Graph.n_vertices g);
+        check_int "m" 12 (Graph.n_edges g));
+    case "hypercube: d-regular, d*2^(d-1) edges, width 2^(d-1)" (fun () ->
+        let g = Classic.hypercube 4 in
+        check_int "n" 16 (Graph.n_vertices g);
+        check_int "m" 32 (Graph.n_edges g);
+        check_bool "4-regular" true (Graph.is_regular g && Graph.degree g 0 = 4);
+        check_int "exact width" 8 (Gbisect.Exact.bisection_width g));
+    case "petersen: 3-regular, girth 5, width 5" (fun () ->
+        let g = Classic.petersen () in
+        check_int "n" 10 (Graph.n_vertices g);
+        check_int "m" 15 (Graph.n_edges g);
+        check_bool "3-regular" true (Graph.is_regular g && Graph.degree g 0 = 3);
+        check_int "exact width" 5 (Gbisect.Exact.bisection_width g));
+    case "disjoint cycles: 2-regular with `count` components" (fun () ->
+        let g = Classic.disjoint_cycles ~count:4 ~len:5 in
+        check_int "n" 20 (Graph.n_vertices g);
+        check_bool "2-regular" true (Graph.is_regular g && Graph.degree g 0 = 2);
+        check_int "components" 4 (snd (Traverse.components g)));
+    case "grid3d: edge count and width of a cube" (fun () ->
+        let g = Classic.grid3d ~x:3 ~y:3 ~z:3 in
+        Helpers.check_graph_ok g;
+        check_int "n" 27 (Graph.n_vertices g);
+        (* 3 * (2*3*3) = 54 edges *)
+        check_int "m" 54 (Graph.n_edges g);
+        check_bool "connected" true (Traverse.is_connected g);
+        let g2 = Classic.grid3d ~x:2 ~y:2 ~z:2 in
+        check_bool "2-cube = hypercube 3" true (Graph.equal g2 (Classic.hypercube 3)));
+    case "barbell: width 1, two dense halves" (fun () ->
+        let g = Classic.barbell 5 in
+        check_int "n" 10 (Graph.n_vertices g);
+        check_int "m" 21 (Graph.n_edges g);
+        check_int "exact width" 1 (Gbisect.Exact.bisection_width g));
+    case "caterpillar: tree with spine * (legs+1) vertices" (fun () ->
+        let g = Classic.caterpillar ~spine:4 ~legs:3 in
+        check_int "n" 16 (Graph.n_vertices g);
+        check_int "m" 15 (Graph.n_edges g);
+        check_bool "connected" true (Traverse.is_connected g);
+        check_int "exact width" 1 (Gbisect.Exact.bisection_width g));
+    case "cycle_power: 2k-regular" (fun () ->
+        let g = Classic.cycle_power 12 3 in
+        check_bool "6-regular" true (Graph.is_regular g && Graph.degree g 0 = 6);
+        check_int "m" 36 (Graph.n_edges g));
+    case "complete_multipartite: sizes and edge count" (fun () ->
+        let g = Classic.complete_multipartite [ 2; 3; 4 ] in
+        check_int "n" 9 (Graph.n_vertices g);
+        (* 2*3 + 2*4 + 3*4 = 26 *)
+        check_int "m" 26 (Graph.n_edges g);
+        check_bool "class-internal edges absent" false (Graph.mem_edge g 2 3));
+    case "crown: (n-1)-regular bipartite" (fun () ->
+        let g = Classic.crown 4 in
+        check_int "n" 8 (Graph.n_vertices g);
+        check_bool "3-regular" true (Graph.is_regular g && Graph.degree g 0 = 3);
+        check_bool "bipartite" true (Traverse.is_bipartite g);
+        check_bool "no matching edges" false (Graph.mem_edge g 0 4));
+    case "constructors reject bad sizes" (fun () ->
+        List.iter
+          (fun (name, f) ->
+            Alcotest.check_raises name (Invalid_argument ("Classic." ^ name)) (fun () ->
+                ignore (f ())))
+          [
+            ("path", fun () -> Classic.path 0);
+            ("cycle", fun () -> Classic.cycle 2);
+            ("grid", fun () -> Classic.grid ~rows:0 ~cols:3);
+            ("ladder", fun () -> Classic.ladder 0);
+            ("circular_ladder", fun () -> Classic.circular_ladder 2);
+            ("hypercube", fun () -> Classic.hypercube (-1));
+          ]);
+  ]
+
+(* --- Traverse ----------------------------------------------------------- *)
+
+let traverse_tests =
+  [
+    case "bfs distances on a path" (fun () ->
+        let g = Classic.path 5 in
+        Alcotest.(check (array int)) "from 0" [| 0; 1; 2; 3; 4 |] (Traverse.bfs_distances g 0);
+        Alcotest.(check (array int)) "from middle" [| 2; 1; 0; 1; 2 |]
+          (Traverse.bfs_distances g 2));
+    case "bfs distances mark unreachable" (fun () ->
+        let g = Graph.of_unweighted_edges ~n:4 [ (0, 1) ] in
+        Alcotest.(check (array int)) "unreachable -1" [| 0; 1; -1; -1 |]
+          (Traverse.bfs_distances g 0));
+    case "bfs_order covers the component once" (fun () ->
+        let g = Classic.cycle 6 in
+        let order = Traverse.bfs_order g 0 in
+        check_int "length" 6 (List.length order);
+        check_int "distinct" 6 (List.length (List.sort_uniq compare order)));
+    case "dfs_order is a preorder of the component" (fun () ->
+        let g = Classic.binary_tree ~depth:3 in
+        let order = Traverse.dfs_order g 0 in
+        check_int "covers" 15 (List.length order);
+        check_int "starts at root" 0 (List.hd order));
+    case "components of disjoint cycles" (fun () ->
+        let g = Classic.disjoint_cycles ~count:3 ~len:4 in
+        let label, count = Traverse.components g in
+        check_int "count" 3 count;
+        check_int "vertex 0 label" 0 label.(0);
+        check_int "vertex 5 label" 1 label.(5);
+        Alcotest.(check (array int)) "sizes" [| 4; 4; 4 |] (Traverse.component_sizes g));
+    case "is_connected" (fun () ->
+        check_bool "cycle" true (Traverse.is_connected (Classic.cycle 5));
+        check_bool "two cycles" false
+          (Traverse.is_connected (Classic.disjoint_cycles ~count:2 ~len:3));
+        check_bool "empty graph with 1 vertex" true (Traverse.is_connected (Graph.empty 1));
+        check_bool "isolated vertices" false (Traverse.is_connected (Graph.empty 3)));
+    case "is_bipartite" (fun () ->
+        check_bool "even cycle" true (Traverse.is_bipartite (Classic.cycle 8));
+        check_bool "odd cycle" false (Traverse.is_bipartite (Classic.cycle 7));
+        check_bool "tree" true (Traverse.is_bipartite (Classic.binary_tree ~depth:4));
+        check_bool "grid" true (Traverse.is_bipartite (Classic.grid ~rows:3 ~cols:3)));
+    case "spanning forest has n - components edges" (fun () ->
+        let g = Classic.disjoint_cycles ~count:2 ~len:5 in
+        check_int "edges" 8 (List.length (Traverse.spanning_forest g)));
+    case "diameter of classics" (fun () ->
+        check_int "path" 7 (Traverse.diameter (Classic.path 8));
+        check_int "cycle" 4 (Traverse.diameter (Classic.cycle 8));
+        check_int "complete" 1 (Traverse.diameter (Classic.complete 6));
+        check_int "hypercube" 4 (Traverse.diameter (Classic.hypercube 4)));
+    case "diameter rejects disconnected" (fun () ->
+        Alcotest.check_raises "disconnected"
+          (Invalid_argument "Traverse.diameter: disconnected graph") (fun () ->
+            ignore (Traverse.diameter (Graph.empty 3))));
+    case "eccentricity of tree root vs leaf" (fun () ->
+        let g = Classic.binary_tree ~depth:4 in
+        check_int "root" 4 (Traverse.eccentricity g 0);
+        check_int "leaf" 8 (Traverse.eccentricity g 30));
+    case "bridges of classics" (fun () ->
+        Alcotest.(check (list (pair int int)))
+          "path: every edge" [ (0, 1); (1, 2); (2, 3) ]
+          (Traverse.bridges (Classic.path 4));
+        Alcotest.(check (list (pair int int))) "cycle: none" [] (Traverse.bridges (Classic.cycle 6));
+        Alcotest.(check (list (pair int int)))
+          "barbell: the bar" [ (0, 4) ]
+          (Traverse.bridges (Classic.barbell 4));
+        check_int "tree: all edges"
+          (Graph.n_edges (Classic.binary_tree ~depth:4))
+          (List.length (Traverse.bridges (Classic.binary_tree ~depth:4))));
+    case "articulation points of classics" (fun () ->
+        Alcotest.(check (list int)) "path interior" [ 1; 2 ]
+          (Traverse.articulation_points (Classic.path 4));
+        Alcotest.(check (list int)) "cycle none" [] (Traverse.articulation_points (Classic.cycle 6));
+        Alcotest.(check (list int)) "star centre" [ 0 ]
+          (Traverse.articulation_points (Classic.star 4));
+        Alcotest.(check (list int)) "barbell bar ends" [ 0; 4 ]
+          (Traverse.articulation_points (Classic.barbell 4)));
+  ]
+
+let bridge_properties =
+  [
+    Helpers.qtest ~count:150 "bridges match the removal oracle"
+      (Helpers.gen_graph ~max_n:14 ()) (fun g ->
+        let n = Graph.n_vertices g in
+        let base_components = snd (Traverse.components g) in
+        let brute =
+          List.filter_map
+            (fun (u, v, _) ->
+              let without =
+                Graph.of_edges ~n
+                  (List.filter (fun (a, b, _) -> not (a = u && b = v)) (Graph.edges g))
+              in
+              if snd (Traverse.components without) > base_components then Some (u, v)
+              else None)
+            (Graph.edges g)
+        in
+        Traverse.bridges g = List.sort compare brute);
+    Helpers.qtest ~count:150 "articulation points match the removal oracle"
+      (Helpers.gen_graph ~max_n:14 ()) (fun g ->
+        let n = Graph.n_vertices g in
+        let base = snd (Traverse.components g) in
+        let brute =
+          List.filter
+            (fun v ->
+              Graph.degree g v > 0
+              &&
+              let keep =
+                Array.of_list (List.filter (fun u -> u <> v) (List.init n Fun.id))
+              in
+              let sub = Gbisect.Subgraph.induced g keep in
+              snd (Traverse.components sub.Gbisect.Subgraph.graph) > base)
+            (List.init n Fun.id)
+        in
+        Traverse.articulation_points g = brute);
+  ]
+
+(* --- IO ------------------------------------------------------------------ *)
+
+let io_tests =
+  [
+    case "edge-list round trip (unweighted)" (fun () ->
+        let g = Classic.petersen () in
+        let s = Gio.to_edge_list_string g in
+        check_bool "round trip" true (Graph.equal g (Gio.of_edge_list_string s)));
+    case "edge-list round trip (weighted)" (fun () ->
+        let g = Graph.of_edges ~n:4 [ (0, 1, 3); (1, 2, 1); (2, 3, 9) ] in
+        check_bool "round trip" true
+          (Graph.equal g (Gio.of_edge_list_string (Gio.to_edge_list_string g))));
+    case "edge-list accepts comments and blanks" (fun () ->
+        let s = "# a comment\n3 2\n\n0 1\n1 2  # trailing\n" in
+        let g = Gio.of_edge_list_string s in
+        check_int "n" 3 (Graph.n_vertices g);
+        check_int "m" 2 (Graph.n_edges g));
+    case "edge-list rejects malformed input" (fun () ->
+        List.iter
+          (fun s ->
+            match Gio.of_edge_list_string s with
+            | exception Failure _ -> ()
+            | exception Invalid_argument _ -> ()
+            | _ -> Alcotest.failf "accepted %S" s)
+          [ ""; "x"; "2 1\n0"; "2 1\n0 1\n0 1"; "2 2\n0 1"; "2 1\n0 5" ]);
+    case "file round trip" (fun () ->
+        let g = Classic.grid ~rows:3 ~cols:4 in
+        let path = Filename.temp_file "gbisect" ".txt" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Gio.write_edge_list path g;
+            check_bool "same" true (Graph.equal g (Gio.read_edge_list path))));
+    case "metis parses unweighted" (fun () ->
+        (* Triangle plus a pendant, 1-based adjacency lines. *)
+        let s = "4 4\n2 3\n1 3\n1 2 4\n3\n" in
+        let g = Gio.of_metis_string s in
+        check_int "n" 4 (Graph.n_vertices g);
+        check_int "m" 4 (Graph.n_edges g);
+        check_bool "pendant edge" true (Graph.mem_edge g 2 3));
+    case "metis parses edge weights" (fun () ->
+        let s = "3 2 1\n2 5\n1 5 3 7\n2 7\n" in
+        let g = Gio.of_metis_string s in
+        check_int "w(0,1)" 5 (Graph.edge_weight g 0 1);
+        check_int "w(1,2)" 7 (Graph.edge_weight g 1 2));
+    case "metis skips % comments" (fun () ->
+        let s = "% header comment\n2 1\n2\n1\n" in
+        check_int "m" 1 (Graph.n_edges (Gio.of_metis_string s)));
+    case "metis rejects bad headers and counts" (fun () ->
+        List.iter
+          (fun s ->
+            match Gio.of_metis_string s with
+            | exception Failure _ -> ()
+            | _ -> Alcotest.failf "accepted %S" s)
+          [ ""; "2 1 9\n2\n1\n"; "4 1\n2\n1\n"; "2 5\n2\n1\n"; "2 1\n2\n1\nextra\n" ]);
+    case "dot output mentions every edge" (fun () ->
+        let g = triangle () in
+        let dot = Gio.to_dot g in
+        check_bool "has 0 -- 1" true
+          (Helpers.contains dot "0 -- 1"));
+    case "dot highlights the cut" (fun () ->
+        let g = Classic.path 4 in
+        let dot = Gio.to_dot ~highlight_cut:[| 0; 0; 1; 1 |] g in
+        check_bool "bold cut edge" true (Helpers.contains dot "style=bold");
+        check_bool "colours sides" true (Helpers.contains dot "lightblue"));
+  ]
+
+(* --- Matching -------------------------------------------------------------- *)
+
+let matching_tests =
+  [
+    case "empty matching is valid, maximal only without edges" (fun () ->
+        let g = Classic.path 4 in
+        let m = Matching.empty g in
+        check_bool "valid" true (Matching.is_valid g m);
+        check_bool "not maximal" false (Matching.is_maximal g m);
+        check_bool "maximal on empty graph" true
+          (Matching.is_maximal (Graph.empty 3) (Matching.empty (Graph.empty 3))));
+    case "random_maximal on a single edge takes it" (fun () ->
+        let g = Classic.path 2 in
+        let m = Matching.random_maximal (Helpers.rng ()) g in
+        check_int "size" 1 (Matching.size m);
+        check_bool "both matched" true (Matching.is_matched m 0 && Matching.is_matched m 1));
+    case "complete graph matching is perfect" (fun () ->
+        let g = Classic.complete 10 in
+        let m = Matching.random_maximal (Helpers.rng ()) g in
+        check_int "perfect" 5 (Matching.size m));
+    case "star matching has exactly one edge" (fun () ->
+        let g = Classic.star 7 in
+        let m = Matching.random_maximal (Helpers.rng ()) g in
+        check_int "one edge" 1 (Matching.size m));
+    case "heavy_edge avoids the lightest edge of a triangle" (fun () ->
+        (* Triangle with w(0,1)=1, w(0,2)=10, w(1,2)=5: whichever vertex
+           is visited first, its heaviest free edge wins, so the light
+           edge (0,1) can never be chosen. *)
+        let g = Graph.of_edges ~n:3 [ (0, 1, 1); (0, 2, 10); (1, 2, 5) ] in
+        for seed = 1 to 20 do
+          let m = Matching.heavy_edge (Helpers.rng ~seed ()) g in
+          check_int "one pair" 1 (Matching.size m);
+          check_bool "light edge avoided" false (List.mem (0, 1) m.Matching.pairs)
+        done);
+  ]
+
+let matching_property_tests =
+  [
+    Helpers.qtest "random_maximal is a valid maximal matching"
+      (Helpers.gen_graph ~max_n:30 ()) (fun g ->
+        let m = Matching.random_maximal (Helpers.rng ()) g in
+        Matching.is_valid g m && Matching.is_maximal g m);
+    Helpers.qtest "heavy_edge is a valid maximal matching"
+      (Helpers.gen_weighted_graph ()) (fun g ->
+        let m = Matching.heavy_edge (Helpers.rng ()) g in
+        Matching.is_valid g m && Matching.is_maximal g m);
+    Helpers.qtest "mate is an involution" (Helpers.gen_graph ~max_n:30 ()) (fun g ->
+        let m = Matching.random_maximal (Helpers.rng ()) g in
+        Array.for_all Fun.id
+          (Array.mapi
+             (fun u v -> v < 0 || m.Matching.mate.(v) = u)
+             m.Matching.mate));
+  ]
+
+(* --- Contraction ------------------------------------------------------------ *)
+
+let contraction_tests =
+  [
+    case "contracting one edge of a path" (fun () ->
+        let g = Classic.path 3 in
+        (* Match edge (0,1): coarse graph has 2 vertices, 1 edge. *)
+        let m =
+          Matching.{ mate = [| 1; 0; -1 |]; pairs = [ (0, 1) ] }
+        in
+        let c = Contraction.contract g m in
+        check_int "coarse n" 2 (Contraction.n_coarse c);
+        check_int "coarse m" 1 (Graph.n_edges c.Contraction.coarse);
+        check_int "merged vertex weight" 2 (Graph.vertex_weight c.Contraction.coarse 0);
+        check_int "fine 0 -> coarse 0" 0 c.Contraction.fine_to_coarse.(0);
+        check_int "fine 1 -> coarse 0" 0 c.Contraction.fine_to_coarse.(1));
+    case "parallel edges merge during contraction" (fun () ->
+        (* Square 0-1-2-3-0; contract (0,1) and (2,3): the two coarse
+           vertices are joined by two fine edges -> one weight-2 edge. *)
+        let g = Classic.cycle 4 in
+        let m = Matching.{ mate = [| 1; 0; 3; 2 |]; pairs = [ (0, 1); (2, 3) ] } in
+        let c = Contraction.contract g m in
+        check_int "coarse n" 2 (Contraction.n_coarse c);
+        check_int "one merged edge" 1 (Graph.n_edges c.Contraction.coarse);
+        check_int "weight 2" 2 (Graph.edge_weight c.Contraction.coarse 0 1));
+    case "empty matching contraction is the identity" (fun () ->
+        let g = Classic.petersen () in
+        let c = Contraction.contract g (Matching.empty g) in
+        check_bool "identity" true (Contraction.is_identity c);
+        check_bool "same graph" true (Graph.equal g c.Contraction.coarse));
+    case "project_to_fine inherits values" (fun () ->
+        let g = Classic.path 4 in
+        let m = Matching.{ mate = [| 1; 0; 3; 2 |]; pairs = [ (0, 1); (2, 3) ] } in
+        let c = Contraction.contract g m in
+        Alcotest.(check (array int)) "projection" [| 5; 5; 9; 9 |]
+          (Contraction.project_to_fine c [| 5; 9 |]));
+    case "lift_to_coarse sees the member groups" (fun () ->
+        let g = Classic.path 4 in
+        let m = Matching.{ mate = [| 1; 0; 3; 2 |]; pairs = [ (0, 1); (2, 3) ] } in
+        let c = Contraction.contract g m in
+        Alcotest.(check (array int)) "sizes" [| 2; 2 |]
+          (Contraction.lift_to_coarse c ~f:Array.length));
+  ]
+
+let contraction_property_tests =
+  [
+    Helpers.qtest "coarse totals: vertex weight preserved, edges may merge"
+      (Helpers.gen_graph ~max_n:30 ()) (fun g ->
+        let m = Matching.random_maximal (Helpers.rng ()) g in
+        let c = Contraction.contract g m in
+        let coarse = c.Contraction.coarse in
+        Graph.check coarse;
+        Graph.total_vertex_weight coarse = Graph.total_vertex_weight g
+        && Graph.total_edge_weight coarse
+           = Graph.total_edge_weight g
+             - List.fold_left
+                 (fun acc (u, v) -> acc + Graph.edge_weight g u v)
+                 0 m.Matching.pairs);
+    Helpers.qtest "cut correspondence: coarse cut = projected fine cut"
+      (Helpers.gen_graph ~max_n:30 ()) (fun g ->
+        let r = Helpers.rng () in
+        let m = Matching.random_maximal r g in
+        let c = Contraction.contract g m in
+        let coarse = c.Contraction.coarse in
+        let coarse_side =
+          Array.init (Graph.n_vertices coarse) (fun _ -> Rng.int r 2)
+        in
+        let fine_side = Contraction.project_to_fine c coarse_side in
+        Gbisect.Bisection.compute_cut coarse coarse_side
+        = Gbisect.Bisection.compute_cut g fine_side);
+    Helpers.qtest "average degree does not drop under contraction"
+      (Helpers.gen_graph ~min_n:6 ~max_n:30 ~p:0.25 ()) (fun g ->
+        (* The paper's §V rationale: G' is denser than G. Holds whenever
+           the matching is non-empty and no edges vanish entirely into
+           matched pairs beyond those contracted. Allow equality. *)
+        let m = Matching.random_maximal (Helpers.rng ()) g in
+        let c = Contraction.contract g m in
+        Graph.n_vertices c.Contraction.coarse = Graph.n_vertices g - Matching.size m);
+  ]
+
+(* --- Products --------------------------------------------------------------- *)
+
+module Product = Gbisect.Product
+
+let product_tests =
+  [
+    case "disjoint union shifts the second graph" (fun () ->
+        let g = Product.disjoint_union (Classic.path 3) (Classic.cycle 3) in
+        Helpers.check_graph_ok g;
+        check_int "n" 6 (Graph.n_vertices g);
+        check_int "m" 5 (Graph.n_edges g);
+        check_int "components" 2 (snd (Traverse.components g)));
+    case "disjoint union preserves weights" (fun () ->
+        let a = Graph.of_edges ~vertex_weights:[| 2; 3 |] ~n:2 [ (0, 1, 7) ] in
+        let g = Product.disjoint_union a a in
+        check_int "edge" 7 (Graph.edge_weight g 2 3);
+        check_int "vertex" 3 (Graph.vertex_weight g 3));
+    case "join of empty graphs is complete bipartite" (fun () ->
+        let g = Product.join (Graph.empty 3) (Graph.empty 4) in
+        check_bool "K34" true (Graph.equal g (Classic.complete_bipartite 3 4)));
+    case "cartesian: path x path = grid" (fun () ->
+        let g = Product.cartesian (Classic.path 4) (Classic.path 7) in
+        check_bool "grid 4x7" true (Graph.equal g (Classic.grid ~rows:4 ~cols:7)));
+    case "cartesian: cycle x cycle = torus" (fun () ->
+        let g = Product.cartesian (Classic.cycle 4) (Classic.cycle 5) in
+        check_bool "torus 4x5" true (Graph.equal g (Classic.torus ~rows:4 ~cols:5)));
+    case "cartesian: path x K2 = ladder" (fun () ->
+        (* ladder ids are (row, col); cartesian ids are (col, row) with
+           h = K2, so compare via canonical invariants instead. *)
+        let g = Product.cartesian (Classic.path 6) (Classic.complete 2) in
+        let l = Classic.ladder 6 in
+        check_int "n" (Graph.n_vertices l) (Graph.n_vertices g);
+        check_int "m" (Graph.n_edges l) (Graph.n_edges g);
+        Alcotest.(check (list (pair int int)))
+          "degree histogram" (Graph.degree_histogram l) (Graph.degree_histogram g));
+    case "cartesian: K2 cube is the hypercube" (fun () ->
+        let k2 = Classic.complete 2 in
+        let g = Product.cartesian (Product.cartesian k2 k2) k2 in
+        check_bool "Q3" true (Graph.equal g (Classic.hypercube 3)));
+    case "tensor with K2 doubles a bipartite graph" (fun () ->
+        (* tensor of connected bipartite graph with K2 = two copies *)
+        let g = Product.tensor (Classic.path 4) (Classic.complete 2) in
+        check_int "components" 2 (snd (Traverse.components g)));
+    case "strong = cartesian + tensor (edge sets)" (fun () ->
+        let a = Classic.path 3 and b = Classic.cycle 3 in
+        let s = Product.strong a b in
+        let c = Product.cartesian a b and t = Product.tensor a b in
+        check_int "edge counts add" (Graph.n_edges c + Graph.n_edges t) (Graph.n_edges s);
+        Graph.iter_edges c (fun u v _ -> check_bool "cartesian edge in strong" true (Graph.mem_edge s u v));
+        Graph.iter_edges t (fun u v _ -> check_bool "tensor edge in strong" true (Graph.mem_edge s u v)));
+    case "complement of complete is empty, and involution" (fun () ->
+        check_int "empty" 0 (Graph.n_edges (Product.complement (Classic.complete 6)));
+        let g = Classic.petersen () in
+        check_bool "involution" true (Graph.equal g (Product.complement (Product.complement g))));
+    case "products reject weighted input" (fun () ->
+        let w = Graph.of_edges ~n:2 [ (0, 1, 3) ] in
+        Alcotest.check_raises "cartesian" (Invalid_argument "Product.cartesian: weighted input")
+          (fun () -> ignore (Product.cartesian w w)));
+  ]
+
+let product_properties =
+  [
+    Helpers.qtest ~count:60 "cartesian degree sum rule" (Helpers.gen_graph ~max_n:8 ())
+      (fun g ->
+        (* deg_{GxH}(u,v) = deg_G(u) + deg_H(v); check via edge counts:
+           m(GxH) = m(G) * n(H) + n(G) * m(H). *)
+        let h = Classic.cycle 5 in
+        let p = Product.cartesian g h in
+        Graph.n_edges p = (Graph.n_edges g * 5) + (Graph.n_vertices g * 5));
+    Helpers.qtest ~count:60 "tensor edge count rule" (Helpers.gen_graph ~max_n:8 ())
+      (fun g ->
+        (* m(G tensor H) = 2 m(G) m(H) *)
+        let h = Classic.path 4 in
+        let p = Product.tensor g h in
+        Graph.n_edges p = 2 * Graph.n_edges g * 3);
+    Helpers.qtest ~count:60 "complement edge count" (Helpers.gen_graph ~max_n:14 ())
+      (fun g ->
+        let n = Graph.n_vertices g in
+        Graph.n_edges (Product.complement g) = (n * (n - 1) / 2) - Graph.n_edges g);
+  ]
+
+let () =
+  Alcotest.run "graph"
+    [
+      ("products", product_tests);
+      ("product properties", product_properties);
+      ("csr", csr_tests);
+      ("csr properties", csr_property_tests);
+      ("builder", builder_tests);
+      ("classic", classic_tests);
+      ("traverse", traverse_tests);
+      ("bridge properties", bridge_properties);
+      ("io", io_tests);
+      ("matching", matching_tests);
+      ("matching properties", matching_property_tests);
+      ("contraction", contraction_tests);
+      ("contraction properties", contraction_property_tests);
+    ]

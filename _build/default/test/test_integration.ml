@@ -1,0 +1,229 @@
+(* End-to-end integration tests: the umbrella API, full pipelines over
+   every model, cross-algorithm consistency, and the paper's headline
+   shapes at miniature scale. *)
+
+module Graph = Gbisect.Graph
+module Classic = Gbisect.Classic
+module Bisection = Gbisect.Bisection
+module Rng = Gbisect.Rng
+
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+let all_algorithms : Gbisect.algorithm list = [ `Kl; `Sa; `Ckl; `Csa; `Fm; `Multilevel ]
+
+let solve_tests =
+  [
+    case "solve works for every algorithm" (fun () ->
+        let g = Classic.grid ~rows:8 ~cols:8 in
+        List.iter
+          (fun algorithm ->
+            let r = Gbisect.solve ~algorithm ~starts:1 (Helpers.rng ()) g in
+            Helpers.check_bisection_consistent g r.Gbisect.bisection;
+            check_bool
+              (Gbisect.algorithm_name algorithm ^ " balanced")
+              true
+              (Bisection.is_balanced r.Gbisect.bisection);
+            check_bool "timed" true (r.Gbisect.seconds >= 0.))
+          all_algorithms);
+    case "algorithm names are distinct" (fun () ->
+        let names = List.map Gbisect.algorithm_name all_algorithms in
+        check_int "unique" (List.length names) (List.length (List.sort_uniq compare names)));
+    case "more starts never hurt (same stream, monotone best)" (fun () ->
+        let g = Gbisect.Gnp.generate (Helpers.rng ()) ~n:60 ~p:0.1 in
+        (* With a shared seed the 4-start run sees the 1-start run's
+           result among its candidates only if streams align, so instead
+           assert the weaker monotonicity: best-of-4 from one stream is
+           <= worst-of-the-same-4. Run manually. *)
+        let r = Helpers.rng ~seed:5 () in
+        let cuts =
+          List.init 4 (fun _ ->
+              Bisection.cut (Gbisect.solve ~algorithm:`Kl ~starts:1 r g).Gbisect.bisection)
+        in
+        let best4 =
+          Bisection.cut
+            (Gbisect.solve ~algorithm:`Kl ~starts:4 (Helpers.rng ~seed:5 ()) g).Gbisect.bisection
+        in
+        check_int "best of the same four" (List.fold_left min max_int cuts) best4);
+    case "solve rejects zero starts" (fun () ->
+        let g = Classic.path 4 in
+        Alcotest.check_raises "starts" (Invalid_argument "Gbisect.solve: starts must be >= 1")
+          (fun () -> ignore (Gbisect.solve ~starts:0 (Helpers.rng ()) g)));
+  ]
+
+(* Full pipeline: generate from each model, solve with each algorithm,
+   validate the result. *)
+let pipeline_tests =
+  [
+    case "every model x every algorithm" (fun () ->
+        let r = Helpers.rng () in
+        let graphs =
+          [
+            ("gnp", Gbisect.Gnp.generate r ~n:100 ~p:0.05);
+            ( "planted",
+              Gbisect.Planted.generate r
+                Gbisect.Planted.{ two_n = 100; p_a = 0.06; p_b = 0.06; bis = 6 } );
+            ("gbreg", Gbisect.Bregular.generate r Gbisect.Bregular.{ two_n = 100; b = 4; d = 3 });
+            ("regular", Gbisect.Degree_seq.random_regular r ~n:100 ~d:4);
+            ("ladder", Classic.ladder 50);
+            ("tree", Classic.binary_tree ~depth:6);
+          ]
+        in
+        List.iter
+          (fun (model, g) ->
+            List.iter
+              (fun algorithm ->
+                let res = Gbisect.solve ~algorithm ~starts:1 r g in
+                check_bool
+                  (Printf.sprintf "%s/%s balanced" model (Gbisect.algorithm_name algorithm))
+                  true
+                  (Bisection.is_balanced res.Gbisect.bisection))
+              all_algorithms)
+          graphs);
+    case "IO round trip through the solve pipeline" (fun () ->
+        let g = Gbisect.Bregular.generate (Helpers.rng ())
+            Gbisect.Bregular.{ two_n = 60; b = 4; d = 3 } in
+        let s = Gbisect.Graph_io.to_edge_list_string g in
+        let g' = Gbisect.Graph_io.of_edge_list_string s in
+        check_bool "same graph" true (Graph.equal g g');
+        let r = Gbisect.solve ~algorithm:`Ckl (Helpers.rng ()) g' in
+        check_bool "solves" true (Bisection.is_balanced r.Gbisect.bisection));
+    case "netlist file round trip through the hypergraph pipeline" (fun () ->
+        let h =
+          Gbisect.Random_netlist.generate (Helpers.rng ())
+            Gbisect.Random_netlist.default_params
+        in
+        let path = Filename.temp_file "gbisect" ".nets" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Gbisect.Netlist_io.write path h;
+            let h' = Gbisect.Netlist_io.read path in
+            check_int "nets survive" (Gbisect.Hgraph.n_nets h) (Gbisect.Hgraph.n_nets h');
+            let side, stats = Gbisect.Hfm.run (Helpers.rng ()) h' in
+            check_int "cut consistent" (Gbisect.Hgraph.cut_size h' side)
+              stats.Gbisect.Hfm.final_cut;
+            (* the same netlist places end to end *)
+            let placement =
+              Gbisect.Placement.place ~rows:2 ~cols:2
+                ~solver:Gbisect.Placement.hfm_solver (Helpers.rng ()) h'
+            in
+            Gbisect.Placement.validate h' placement;
+            check_bool "wirelength positive" true (Gbisect.Placement.hpwl h' placement > 0)));
+    case "dot export of a solved bisection parses visually" (fun () ->
+        let g = Classic.ladder 6 in
+        let r = Gbisect.solve ~algorithm:`Kl (Helpers.rng ()) g in
+        let dot = Gbisect.Graph_io.to_dot ~highlight_cut:(Bisection.sides r.Gbisect.bisection) g in
+        check_bool "graph block" true (Helpers.contains dot "graph G {");
+        check_bool "has edges" true (Helpers.contains dot "--"));
+  ]
+
+(* The paper's headline shapes, miniature scale, statistical margins. *)
+let shape_tests =
+  [
+    case "Obs 1 shape: degree-4 planted instances solved exactly" (fun () ->
+        let solved = ref 0 in
+        for seed = 1 to 5 do
+          let params = Gbisect.Bregular.{ two_n = 400; b = 8; d = 4 } in
+          let g = Gbisect.Bregular.generate (Helpers.rng ~seed ()) params in
+          let r = Gbisect.solve ~algorithm:`Kl ~starts:2 (Helpers.rng ~seed:(50 + seed) ()) g in
+          if Bisection.cut r.Gbisect.bisection = 8 then incr solved
+        done;
+        check_bool (Printf.sprintf "KL exact on %d/5 of degree-4" !solved) true (!solved >= 4));
+    case "Obs 2 shape: compaction >= 50%% better on sparse planted graphs" (fun () ->
+        (* At 1000 vertices and degree 3 plain KL misses the plant by an
+           order of magnitude while CKL finds it (measured: KL sum ~190,
+           CKL sum ~40 over these seeds); assert a 2x margin. *)
+        let kl_sum = ref 0 and ckl_sum = ref 0 in
+        for seed = 1 to 5 do
+          let params = Gbisect.Bregular.{ two_n = 1000; b = 8; d = 3 } in
+          let g = Gbisect.Bregular.generate (Helpers.rng ~seed ()) params in
+          let r = Helpers.rng ~seed:(70 + seed) () in
+          kl_sum := !kl_sum + Bisection.cut (Gbisect.solve ~algorithm:`Kl ~starts:2 r g).Gbisect.bisection;
+          ckl_sum := !ckl_sum + Bisection.cut (Gbisect.solve ~algorithm:`Ckl ~starts:2 r g).Gbisect.bisection
+        done;
+        check_bool
+          (Printf.sprintf "CKL %d vs KL %d" !ckl_sum !kl_sum)
+          true
+          (2 * !ckl_sum <= !kl_sum));
+    case "Obs 4 shape: KL is much faster than SA" (fun () ->
+        let g = Gbisect.Bregular.generate (Helpers.rng ())
+            Gbisect.Bregular.{ two_n = 600; b = 8; d = 4 } in
+        let time algorithm =
+          let t0 = Unix.gettimeofday () in
+          ignore (Gbisect.solve ~algorithm ~starts:1 (Helpers.rng ()) g);
+          Unix.gettimeofday () -. t0
+        in
+        let t_kl = time `Kl and t_sa = time `Sa in
+        check_bool (Printf.sprintf "SA %.3fs vs KL %.3fs" t_sa t_kl) true (t_sa > t_kl));
+    case "Gnp control: random bisection is within 2x of KL (paper §IV)" (fun () ->
+        (* At fixed p the minimum cut is a constant fraction of the edges;
+           heuristics can only shave a bounded factor. *)
+        let r = Helpers.rng () in
+        let g = Gbisect.Gnp.generate r ~n:300 ~p:0.1 in
+        let random_cut = Bisection.compute_cut g (Gbisect.Initial.random r g) in
+        let kl_cut = Bisection.cut (Gbisect.solve ~algorithm:`Kl r g).Gbisect.bisection in
+        check_bool
+          (Printf.sprintf "KL %d vs random %d" kl_cut random_cut)
+          true
+          (2 * kl_cut > random_cut));
+    case "degree-2 graphs: recursive compaction finds near-zero cuts" (fun () ->
+        (* Paper §VI: degree-2 Gbreg graphs are disjoint cycles with
+           optimal bisection <= 2. One-shot compaction cannot densify a
+           cycle (contracting a matching of C_2k gives C_k, still degree
+           2), but the recursive variant shrinks them to triviality. *)
+        let g = Classic.disjoint_cycles ~count:10 ~len:20 in
+        let best = ref max_int in
+        for seed = 1 to 5 do
+          let r = Gbisect.solve ~algorithm:`Multilevel ~starts:1 (Helpers.rng ~seed ()) g in
+          best := min !best (Bisection.cut r.Gbisect.bisection)
+        done;
+        check_bool (Printf.sprintf "cut %d <= 2" !best) true (!best <= 2));
+    case "compaction helps SA on binary trees (Table 1 shape)" (fun () ->
+        let g = Classic.binary_tree ~depth:8 in
+        let sa_sum = ref 0 and csa_sum = ref 0 in
+        for seed = 1 to 3 do
+          let r = Helpers.rng ~seed () in
+          sa_sum := !sa_sum + Bisection.cut (Gbisect.solve ~algorithm:`Sa ~starts:1 r g).Gbisect.bisection;
+          csa_sum := !csa_sum + Bisection.cut (Gbisect.solve ~algorithm:`Csa ~starts:1 r g).Gbisect.bisection
+        done;
+        check_bool
+          (Printf.sprintf "CSA %d <= SA %d" !csa_sum !sa_sum)
+          true
+          (!csa_sum <= !sa_sum));
+  ]
+
+(* Determinism: everything is a pure function of the seed. *)
+let determinism_tests =
+  [
+    case "solve is reproducible per algorithm" (fun () ->
+        let g = Gbisect.Bregular.generate (Helpers.rng ())
+            Gbisect.Bregular.{ two_n = 200; b = 8; d = 3 } in
+        List.iter
+          (fun algorithm ->
+            let r1 = Gbisect.solve ~algorithm (Helpers.rng ~seed:9 ()) g in
+            let r2 = Gbisect.solve ~algorithm (Helpers.rng ~seed:9 ()) g in
+            check_int
+              (Gbisect.algorithm_name algorithm ^ " same cut")
+              (Bisection.cut r1.Gbisect.bisection)
+              (Bisection.cut r2.Gbisect.bisection))
+          all_algorithms);
+    case "generation + solve end to end reproducible" (fun () ->
+        let run () =
+          let r = Helpers.rng ~seed:1234 () in
+          let g = Gbisect.Planted.generate r
+              Gbisect.Planted.{ two_n = 300; p_a = 0.012; p_b = 0.012; bis = 10 } in
+          Bisection.cut (Gbisect.solve ~algorithm:`Ckl r g).Gbisect.bisection
+        in
+        check_int "same pipeline result" (run ()) (run ()));
+  ]
+
+let () =
+  Alcotest.run "integration"
+    [
+      ("solve", solve_tests);
+      ("pipelines", pipeline_tests);
+      ("paper shapes", shape_tests);
+      ("determinism", determinism_tests);
+    ]
