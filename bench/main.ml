@@ -16,11 +16,15 @@
 module Registry = Gbisect.Registry
 module Profile = Gbisect.Profile
 module Rng = Gbisect.Rng
+module Obs = Gbisect.Obs
 
 let usage () =
   print_endline
     "usage: main.exe [--profile smoke|quick|paper] [--list] [--no-bechamel] [--out DIR] \
-     [ids...]"
+     [--trace FILE] [ids...]\n\n\
+     --out DIR    also write per-table text files, DIR/telemetry.jsonl (one JSON\n\
+    \             record per algorithm run) and DIR/metrics.json (counters)\n\
+     --trace FILE write Chrome trace_event JSON lines (load in Perfetto)"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel probes: one Test.make per table. Each probe times the
@@ -114,6 +118,7 @@ let () =
   let profile = ref Profile.quick in
   let bechamel = ref true in
   let out_dir = ref None in
+  let trace_file = ref None in
   let ids = ref [] in
   let rec parse = function
     | [] -> ()
@@ -130,6 +135,9 @@ let () =
         parse rest
     | "--out" :: dir :: rest ->
         out_dir := Some dir;
+        parse rest
+    | "--trace" :: file :: rest ->
+        trace_file := Some file;
         parse rest
     | "--profile" :: name :: rest -> (
         match Profile.by_name name with
@@ -166,6 +174,21 @@ let () =
   (match !out_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
   | _ -> ());
+  (* Observability: real wall clock for spans, a telemetry stream and a
+     metrics dump under --out, a Perfetto-loadable trace under --trace. *)
+  Obs.Trace.set_clock Unix.gettimeofday;
+  (match !trace_file with
+  | Some file -> Obs.Trace.set (Obs.Trace.to_file file)
+  | None -> ());
+  let telemetry_oc =
+    match !out_dir with
+    | Some dir ->
+        Obs.Metrics.set_enabled true;
+        let oc = open_out (Filename.concat dir "telemetry.jsonl") in
+        Obs.Telemetry.set_writer (Some (Obs.Telemetry.to_channel oc));
+        Some oc
+    | None -> None
+  in
   List.iter
     (fun e ->
       let t0 = Unix.gettimeofday () in
@@ -183,4 +206,16 @@ let () =
       flush stdout)
     selected;
   if !bechamel then run_bechamel (List.map (fun e -> e.Registry.id) selected);
+  (match (telemetry_oc, !out_dir) with
+  | Some oc, Some dir ->
+      Obs.Telemetry.set_writer None;
+      close_out oc;
+      let mc = open_out (Filename.concat dir "metrics.json") in
+      Fun.protect
+        ~finally:(fun () -> close_out mc)
+        (fun () ->
+          output_string mc (Obs.Json.to_string (Obs.Metrics.snapshot_json ()));
+          output_char mc '\n')
+  | _ -> ());
+  Obs.Trace.close ();
   Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t_start)

@@ -34,6 +34,39 @@ let write_output path contents =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Observability options (solve and table)                             *)
+
+let trace_term =
+  let doc =
+    "Write a Chrome trace_event JSON-lines file to $(docv); load it in Perfetto or \
+     chrome://tracing to see spans for passes, plateaus and compaction phases."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_term =
+  let doc =
+    "Collect internal counters and histograms (pairs scanned, bucket updates, move \
+     acceptance, matching sizes) and print them to stderr when done."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let with_obs ~trace ~metrics f =
+  Gbisect.Obs.Trace.set_clock Unix.gettimeofday;
+  (match trace with
+  | Some file -> (
+      try Gbisect.Obs.Trace.set (Gbisect.Obs.Trace.to_file file)
+      with Sys_error msg ->
+        Printf.eprintf "gbisect: cannot open trace file: %s\n" msg;
+        exit 2)
+  | None -> ());
+  if metrics then Gbisect.Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Gbisect.Obs.Trace.close ();
+      if metrics then prerr_string (Gbisect.Obs.Metrics.render ()))
+    f
+
+(* ------------------------------------------------------------------ *)
 (* gen                                                                 *)
 
 let gen_cmd =
@@ -132,10 +165,12 @@ let solve_cmd =
     let doc = "Also write a DOT rendering with the cut highlighted." in
     Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
   in
-  let run file algorithm starts seed dot =
+  let run file algorithm starts seed dot trace metrics =
     let graph = read_graph file in
     let rng = Gbisect.Rng.create ~seed in
-    let result = Gbisect.solve ~algorithm ~starts rng graph in
+    let result =
+      with_obs ~trace ~metrics (fun () -> Gbisect.solve ~algorithm ~starts rng graph)
+    in
     let bisection = result.Gbisect.bisection in
     Printf.printf "%s on %s: cut %d (%d+%d vertices), %.3fs\n"
       (Gbisect.algorithm_name algorithm)
@@ -144,14 +179,21 @@ let solve_cmd =
       (fst (Gbisect.Bisection.counts bisection))
       (snd (Gbisect.Bisection.counts bisection))
       result.Gbisect.seconds;
-    match dot with
+    (match dot with
     | None -> ()
     | Some path ->
         write_output path
-          (Gbisect.Graph_io.to_dot ~highlight_cut:(Gbisect.Bisection.sides bisection) graph)
+          (Gbisect.Graph_io.to_dot ~highlight_cut:(Gbisect.Bisection.sides bisection) graph));
+    if not (Gbisect.Bisection.is_balanced bisection) then begin
+      let c0, c1 = Gbisect.Bisection.counts bisection in
+      Printf.eprintf
+        "gbisect: warning: result is not a balanced bisection (%d vs %d vertices)\n" c0 c1;
+      exit 1
+    end
   in
   let info = Cmd.info "solve" ~doc:"Bisect a graph file." in
-  Cmd.v info Term.(const run $ file $ algorithm $ starts $ seed_term $ dot)
+  Cmd.v info
+    Term.(const run $ file $ algorithm $ starts $ seed_term $ dot $ trace_term $ metrics_term)
 
 (* ------------------------------------------------------------------ *)
 (* kway                                                                *)
@@ -252,7 +294,7 @@ let table_cmd =
     let doc = "Profile: smoke, quick or paper (full scale)." in
     Arg.(value & opt string "quick" & info [ "profile" ] ~docv:"NAME" ~doc)
   in
-  let run id list profile =
+  let run id list profile trace metrics =
     if list then
       List.iter
         (fun e ->
@@ -268,10 +310,12 @@ let table_cmd =
           | Some profile -> (
               match Gbisect.Registry.find id with
               | None -> Printf.eprintf "unknown experiment %S (try --list)\n" id
-              | Some e -> print_string (e.Gbisect.Registry.run profile)))
+              | Some e ->
+                  print_string
+                    (with_obs ~trace ~metrics (fun () -> e.Gbisect.Registry.run profile))))
   in
   let info = Cmd.info "table" ~doc:"Regenerate one of the paper's tables." in
-  Cmd.v info Term.(const run $ id $ list $ profile)
+  Cmd.v info Term.(const run $ id $ list $ profile $ trace_term $ metrics_term)
 
 (* ------------------------------------------------------------------ *)
 (* demo                                                                *)

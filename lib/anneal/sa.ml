@@ -1,4 +1,13 @@
 module Rng = Gb_prng.Rng
+module Obs = Gb_obs
+
+(* Observability instruments (no-ops unless Gb_obs is switched on). *)
+let m_proposed = Obs.Metrics.counter "sa.moves_proposed"
+let m_accepted_downhill = Obs.Metrics.counter "sa.accepted_downhill"
+let m_accepted_uphill = Obs.Metrics.counter "sa.accepted_uphill"
+let m_rejected_uphill = Obs.Metrics.counter "sa.rejected_uphill"
+let m_plateaus = Obs.Metrics.counter "sa.plateaus"
+let h_acceptance = Obs.Metrics.histogram "sa.plateau_acceptance_pct"
 
 module type Problem = sig
   type state
@@ -13,6 +22,18 @@ module type Problem = sig
   val snapshot : state -> state
 end
 
+type plateau = {
+  temperature : float;
+  p_attempted : int;
+  p_accepted : int;
+  p_accepted_uphill : int;
+  p_accepted_downhill : int;
+  p_rejected : int;
+  acceptance : float;
+  p_best_cost : float;
+  improved_best : bool;
+}
+
 type stats = {
   temperatures : int;
   attempted : int;
@@ -21,6 +42,7 @@ type stats = {
   initial_temperature : float;
   final_temperature : float;
   frozen : bool;
+  plateaus : plateau list;
 }
 
 module Make (P : Problem) = struct
@@ -60,6 +82,7 @@ module Make (P : Problem) = struct
     let cold_streak = ref 0 in
     let temperatures = ref 0 in
     let frozen = ref false in
+    let plateaus = ref [] in
     let trials_per_temp = schedule.Schedule.size_factor * max 1 (P.size state) in
     let acceptance_budget =
       (* JAMS cutoff: leave a temperature early once this many moves
@@ -74,8 +97,10 @@ module Make (P : Problem) = struct
       && !temperatures < schedule.Schedule.max_temperatures
       && !temperature > schedule.Schedule.min_temperature
     do
+      let span = Obs.Trace.start () in
       let accepted_here = ref 0 in
       let attempted_here = ref 0 in
+      let uphill_here = ref 0 in
       let improved_best = ref false in
       while !attempted_here < trials_per_temp && !accepted_here < acceptance_budget do
         incr attempted_here;
@@ -87,7 +112,10 @@ module Make (P : Problem) = struct
           P.apply state mv;
           incr accepted;
           incr accepted_here;
-          if d > 0. then incr uphill;
+          if d > 0. then begin
+            incr uphill;
+            incr uphill_here
+          end;
           if P.feasible state then begin
             let c = P.cost state in
             if (not !have_best) || c < !best_cost then begin
@@ -101,6 +129,36 @@ module Make (P : Problem) = struct
       done;
       incr temperatures;
       let acceptance = float_of_int !accepted_here /. float_of_int !attempted_here in
+      plateaus :=
+        {
+          temperature = !temperature;
+          p_attempted = !attempted_here;
+          p_accepted = !accepted_here;
+          p_accepted_uphill = !uphill_here;
+          p_accepted_downhill = !accepted_here - !uphill_here;
+          p_rejected = !attempted_here - !accepted_here;
+          acceptance;
+          p_best_cost = !best_cost;
+          improved_best = !improved_best;
+        }
+        :: !plateaus;
+      Obs.Metrics.incr m_plateaus;
+      Obs.Metrics.add m_proposed !attempted_here;
+      Obs.Metrics.add m_accepted_uphill !uphill_here;
+      Obs.Metrics.add m_accepted_downhill (!accepted_here - !uphill_here);
+      Obs.Metrics.add m_rejected_uphill (!attempted_here - !accepted_here);
+      Obs.Metrics.observe h_acceptance (100. *. acceptance);
+      Obs.Telemetry.sample "sa.plateau" !best_cost;
+      Obs.Trace.finish span "sa.plateau"
+        ~args:
+          [
+            ("plateau", Obs.Json.Int !temperatures);
+            ("temperature", Obs.Json.Float !temperature);
+            ("attempted", Obs.Json.Int !attempted_here);
+            ("accepted", Obs.Json.Int !accepted_here);
+            ("acceptance", Obs.Json.Float acceptance);
+            ("best_cost", Obs.Json.Float !best_cost);
+          ];
       (match trace with
       | Some f -> f ~temperature:!temperature ~acceptance ~best_cost:!best_cost
       | None -> ());
@@ -125,6 +183,7 @@ module Make (P : Problem) = struct
           initial_temperature = t0;
           final_temperature = !temperature;
           frozen = !frozen;
+          plateaus = List.rev !plateaus;
         };
     }
 end

@@ -83,7 +83,15 @@ let refine ?(config = default_config) ?trace rng g side0 =
   if abs (c0 - c1) > 1 then invalid_arg "Sa_bisect: input bisection is not balanced";
   let initial_cut = Bisection.compute_cut g side0 in
   let state = make_state config g side0 in
-  let result = Engine.run ~schedule:config.schedule ?trace rng state in
+  let result =
+    Gb_obs.Trace.with_span "sa.anneal"
+      ~args:
+        [
+          ("vertices", Gb_obs.Json.Int (Csr.n_vertices g));
+          ("initial_cut", Gb_obs.Json.Int initial_cut);
+        ]
+      (fun () -> Engine.run ~schedule:config.schedule ?trace rng state)
+  in
   (* Candidate 1: the tracked best balanced snapshot. *)
   let snap = result.Engine.best in
   let snap_side = snap.Problem.side in
@@ -103,3 +111,5 @@ let run ?config ?trace rng g =
   let side0 = Gb_partition.Initial.random rng g in
   let side, stats = refine ?config ?trace rng g side0 in
   (Bisection.of_sides g side, stats)
+
+let plateau_acceptance stats = List.map (fun p -> p.Sa.acceptance) stats.sa.Sa.plateaus

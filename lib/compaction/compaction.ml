@@ -4,6 +4,30 @@ module Matching = Gb_graph.Matching
 module Contraction = Gb_graph.Contraction
 module Bisection = Gb_partition.Bisection
 module Initial = Gb_partition.Initial
+module Obs = Gb_obs
+
+(* Observability instruments (no-ops unless Gb_obs is switched on). *)
+let m_matchings = Obs.Metrics.counter "compaction.matchings"
+let h_matching_size = Obs.Metrics.histogram "compaction.matching_size"
+let h_contraction_pct = Obs.Metrics.histogram "compaction.contraction_ratio_pct"
+
+(* Contract one level under spans, recording the matching size and the
+   coarse/fine vertex ratio. *)
+let contract_level policy match_with rng g =
+  let matching =
+    Obs.Trace.with_span "compaction.match" (fun () -> match_with policy rng g)
+  in
+  Obs.Metrics.incr m_matchings;
+  Obs.Metrics.observe h_matching_size (float_of_int (Matching.size matching));
+  let contraction =
+    Obs.Trace.with_span "compaction.contract" (fun () -> Contraction.contract g matching)
+  in
+  let ratio =
+    float_of_int (Csr.n_vertices contraction.Contraction.coarse)
+    /. float_of_int (max 1 (Csr.n_vertices g))
+  in
+  Obs.Metrics.observe h_contraction_pct (100. *. ratio);
+  contraction
 
 type refiner = Rng.t -> Csr.t -> int array -> int array
 
@@ -25,20 +49,32 @@ let match_with policy rng g =
   | Heavy_edge_matching -> Matching.heavy_edge rng g
 
 let bisect ?(policy = Random_matching) ~refiner rng g =
-  let matching = match_with policy rng g in
-  let contraction = Contraction.contract g matching in
+  let contraction = contract_level policy match_with rng g in
   let coarse = contraction.Contraction.coarse in
   (* Step 3: bisect the contracted graph from a random start. *)
   let coarse_start = Initial.random rng coarse in
-  let coarse_side = refiner rng coarse coarse_start in
+  let coarse_side =
+    Obs.Trace.with_span "compaction.coarse_refine"
+      ~args:[ ("vertices", Obs.Json.Int (Csr.n_vertices coarse)) ]
+      (fun () -> refiner rng coarse coarse_start)
+  in
   let coarse_cut = Bisection.compute_cut coarse coarse_side in
+  Obs.Telemetry.sample "compaction.level" (float_of_int coarse_cut);
   (* Step 4: uncompact and repair count balance. *)
-  let projected = Contraction.project_to_fine contraction coarse_side in
-  let start = Bisection.rebalance g projected in
+  let start =
+    Obs.Trace.with_span "compaction.project" (fun () ->
+        Bisection.rebalance g (Contraction.project_to_fine contraction coarse_side))
+  in
   let projected_cut = Bisection.compute_cut g start in
+  Obs.Telemetry.sample "compaction.projected" (float_of_int projected_cut);
   (* Step 5: refine on the original graph. *)
-  let final_side = refiner rng g start in
+  let final_side =
+    Obs.Trace.with_span "compaction.refine"
+      ~args:[ ("vertices", Obs.Json.Int (Csr.n_vertices g)) ]
+      (fun () -> refiner rng g start)
+  in
   let final_cut = Bisection.compute_cut g final_side in
+  Obs.Telemetry.sample "compaction.level" (float_of_int final_cut);
   ( Bisection.of_sides g final_side,
     {
       fine_vertices = Csr.n_vertices g;
@@ -58,20 +94,26 @@ let recursive ?(policy = Random_matching) ?(min_vertices = 64) ?(max_levels = 20
   let rec coarsen hierarchy g levels =
     if Csr.n_vertices g <= min_vertices || levels >= max_levels then (hierarchy, g)
     else begin
-      let matching = match_with policy rng g in
-      let contraction = Contraction.contract g matching in
+      let contraction = contract_level policy match_with rng g in
       let coarse = contraction.Contraction.coarse in
       (* Stop when contraction no longer shrinks meaningfully. *)
       if 10 * Csr.n_vertices coarse > 9 * Csr.n_vertices g then (hierarchy, g)
       else coarsen (contraction :: hierarchy) coarse (levels + 1)
     end
   in
-  let hierarchy, coarsest = coarsen [] g 0 in
+  let hierarchy, coarsest =
+    Obs.Trace.with_span "compaction.coarsen" (fun () -> coarsen [] g 0)
+  in
   let coarse_vertices = Csr.n_vertices coarsest in
   let coarse_average_degree = Csr.average_degree coarsest in
   (* Bisect the coarsest level. *)
-  let side = refiner rng coarsest (Initial.random rng coarsest) in
+  let side =
+    Obs.Trace.with_span "compaction.coarse_refine"
+      ~args:[ ("vertices", Obs.Json.Int coarse_vertices) ]
+      (fun () -> refiner rng coarsest (Initial.random rng coarsest))
+  in
   let coarse_cut = Bisection.compute_cut coarsest side in
+  Obs.Telemetry.sample "compaction.level" (float_of_int coarse_cut);
   (* Pair each contraction with the fine graph it was applied to:
      [hierarchy] is coarsest-contraction-first, so rebuild finest-first
      from the original graph, then walk it coarsest-first to refine up. *)
@@ -86,10 +128,19 @@ let recursive ?(policy = Random_matching) ?(min_vertices = 64) ?(max_levels = 20
   let side =
     List.fold_left
       (fun side (fine_g, contraction) ->
-        let projected = Contraction.project_to_fine contraction side in
-        let start = Bisection.rebalance fine_g projected in
-        projected_cut := Bisection.compute_cut fine_g start;
-        refiner rng fine_g start)
+        Obs.Trace.with_span "compaction.uncoarsen"
+          ~args:[ ("vertices", Obs.Json.Int (Csr.n_vertices fine_g)) ]
+          (fun () ->
+            let projected = Contraction.project_to_fine contraction side in
+            let start = Bisection.rebalance fine_g projected in
+            projected_cut := Bisection.compute_cut fine_g start;
+            Obs.Telemetry.sample "compaction.projected" (float_of_int !projected_cut);
+            let refined = refiner rng fine_g start in
+            (* compute_cut is pure; only pay for it when collecting. *)
+            if Obs.Telemetry.collecting () then
+              Obs.Telemetry.sample "compaction.level"
+                (float_of_int (Bisection.compute_cut fine_g refined));
+            refined))
       side (List.rev finest_first)
   in
   let final_cut = Bisection.compute_cut g side in

@@ -39,6 +39,7 @@ module Random_netlist = Gb_hyper.Random_netlist
 module Hcoarsen = Gb_hyper.Hcoarsen
 module Placement = Gb_hyper.Placement
 module Hsa = Gb_hyper.Hsa
+module Obs = Gb_obs
 module Profile = Gb_experiments.Profile
 module Runner = Gb_experiments.Runner
 module Registry = Gb_experiments.Registry

@@ -72,6 +72,14 @@ module Hcoarsen = Gb_hyper.Hcoarsen
 module Placement = Gb_hyper.Placement
 module Hsa = Gb_hyper.Hsa
 
+(** {1 Observability} *)
+
+module Obs = Gb_obs
+(** Structured tracing, counters and run telemetry — see
+    {!Gb_obs.Trace}, {!Gb_obs.Metrics}, {!Gb_obs.Telemetry}. All
+    instrumentation is off by default and never perturbs RNG streams
+    or results. *)
+
 (** {1 Experiment harness (paper §VI)} *)
 
 module Profile = Gb_experiments.Profile

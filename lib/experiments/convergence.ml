@@ -1,6 +1,6 @@
 module Rng = Gb_prng.Rng
-module Bisection = Gb_partition.Bisection
 module Bregular = Gb_models.Bregular
+module Telemetry = Gb_obs.Telemetry
 
 let instance profile =
   let two_n = Profile.scaled profile 2000 in
@@ -11,31 +11,25 @@ let instance profile =
   in
   (Bregular.generate rng params, params.Bregular.b, rng)
 
-(* Cut after each pass = initial cut minus the prefix sums of pass gains. *)
-let cut_series initial_cut pass_gains =
-  let running = ref (float_of_int initial_cut) in
-  float_of_int initial_cut
-  :: List.map
-       (fun g ->
-         running := !running -. float_of_int g;
-         !running)
-       pass_gains
+(* One labelled trajectory out of a telemetry record: the cores sample
+   "kl.pass" after every KL pass, "sa.plateau" after every temperature
+   plateau, "compaction.level" after every refined level. *)
+let series label (record : Telemetry.record) =
+  List.filter_map
+    (fun (k, v) -> if String.equal k label then Some v else None)
+    record.Telemetry.trajectory
+
+let record_of profile rng algorithm g =
+  let _, record = Runner.run_once_record ~collect:true profile rng algorithm g in
+  record
 
 let kl_passes profile =
   let g, b, rng = instance profile in
-  let start = Gb_partition.Initial.random rng g in
-  let _, stats = Gb_kl.Kl.refine g start in
-  let flat = cut_series stats.Gb_kl.Kl.initial_cut stats.Gb_kl.Kl.pass_gains in
-  (* compacted start *)
-  let matching = Gb_graph.Matching.random_maximal rng g in
-  let contraction = Gb_graph.Contraction.contract g matching in
-  let coarse = contraction.Gb_graph.Contraction.coarse in
-  let coarse_side, _ = Gb_kl.Kl.refine coarse (Gb_partition.Initial.random rng coarse) in
-  let projected =
-    Bisection.rebalance g (Gb_graph.Contraction.project_to_fine contraction coarse_side)
-  in
-  let _, cstats = Gb_kl.Kl.refine g projected in
-  let compacted = cut_series cstats.Gb_kl.Kl.initial_cut cstats.Gb_kl.Kl.pass_gains in
+  let flat = series "kl.pass" (record_of profile rng Runner.Kl g) in
+  (* CKL runs KL twice — on the contracted graph, then on the original
+     from the projected start — so its "kl.pass" trajectory shows the
+     coarse passes followed by the (few) fine ones. *)
+  let compacted = series "kl.pass" (record_of profile rng Runner.Ckl g) in
   Ascii_chart.render
     ~title:
       (Printf.sprintf
@@ -43,59 +37,29 @@ let kl_passes profile =
          (Gb_graph.Csr.n_vertices g) b b)
     ~y_label:"cut" ~x_label:"pass" flat
   ^ Ascii_chart.render
-      ~title:"          same instance — compacted (CKL) start"
+      ~title:"          same instance — compacted (CKL), coarse then fine passes"
       ~y_label:"cut" ~x_label:"pass" compacted
 
 let sa_temperatures profile =
   let g, b, rng = instance profile in
-  let series = ref [] in
-  let trace ~temperature:_ ~acceptance:_ ~best_cost = series := best_cost :: !series in
-  let config =
-    { Gb_anneal.Sa_bisect.default_config with schedule = profile.Profile.sa_schedule }
-  in
-  let _ = Gb_anneal.Sa_bisect.run ~config ~trace rng g in
+  let costs = series "sa.plateau" (record_of profile rng Runner.Sa g) in
   Ascii_chart.render
     ~title:
       (Printf.sprintf
          "Figure: SA best cost vs temperature index, Gbreg(%d, %d, 3)"
          (Gb_graph.Csr.n_vertices g) b)
-    ~y_label:"best cost" ~x_label:"temperature index" (List.rev !series)
+    ~y_label:"best cost" ~x_label:"temperature index" costs
 
 let multilevel_levels profile =
   let g, b, rng = instance profile in
-  (* Instrument recursion by hand: coarsen fully, then refine up,
-     recording the cut at each level. *)
-  let refiner = Gb_compaction.Compaction.kl_refiner ~config:profile.Profile.kl_config () in
-  let rec coarsen acc g =
-    if Gb_graph.Csr.n_vertices g <= 64 then (acc, g)
-    else begin
-      let m = Gb_graph.Matching.random_maximal rng g in
-      let c = Gb_graph.Contraction.contract g m in
-      let coarse = c.Gb_graph.Contraction.coarse in
-      if 10 * Gb_graph.Csr.n_vertices coarse > 9 * Gb_graph.Csr.n_vertices g then (acc, g)
-      else coarsen ((g, c) :: acc) coarse
-    end
-  in
-  let chain, coarsest = coarsen [] g in
-  let side = ref (refiner rng coarsest (Gb_partition.Initial.random rng coarsest)) in
-  let cuts = ref [ float_of_int (Bisection.compute_cut coarsest !side) ] in
-  let current = ref coarsest in
-  List.iter
-    (fun (fine, contraction) ->
-      let projected = Gb_graph.Contraction.project_to_fine contraction !side in
-      let start = Bisection.rebalance fine projected in
-      side := refiner rng fine start;
-      cuts := float_of_int (Bisection.compute_cut fine !side) :: !cuts;
-      current := fine)
-    chain;
-  ignore !current;
+  let cuts = series "compaction.level" (record_of profile rng Runner.Multilevel_kl g) in
   Ascii_chart.render
     ~title:
       (Printf.sprintf
          "Figure: multilevel (recursive compaction) cut per level, Gbreg(%d, %d, 3) — \
           coarsest to finest"
          (Gb_graph.Csr.n_vertices g) b)
-    ~y_label:"cut after refinement" ~x_label:"level" (List.rev !cuts)
+    ~y_label:"cut after refinement" ~x_label:"level" cuts
 
 let figures profile =
   kl_passes profile ^ "\n" ^ sa_temperatures profile ^ "\n" ^ multilevel_levels profile

@@ -10,7 +10,12 @@
       low" made visible, including the long cold tail §VII complains
       about;
     + {b multilevel cut by level}: projected-then-refined cut at each
-      uncoarsening level of recursive compaction. *)
+      uncoarsening level of recursive compaction.
+
+    All three are read straight off the labelled trajectories in the
+    {!Gb_obs.Telemetry.record} returned by {!Runner.run_once_record}
+    ("kl.pass", "sa.plateau", "compaction.level") — the same data
+    [bench/main.exe --out DIR] streams to [telemetry.jsonl]. *)
 
 val kl_passes : Profile.t -> string
 val sa_temperatures : Profile.t -> string

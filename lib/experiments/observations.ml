@@ -103,9 +103,13 @@ let kl_vs_sa profile =
                 Rng.seed_of_string
                   (Printf.sprintf "%d/obs4/%s/%d" profile.Profile.master_seed family j)
               in
-              let rng = Rng.create ~seed in
-              let g = make rng in
-              Runner.paper_quad profile rng g)
+              Gb_obs.Telemetry.with_context
+                ~graph:(Printf.sprintf "obs4/%s/rep%d" family j)
+                ~seed
+                (fun () ->
+                  let rng = Rng.create ~seed in
+                  let g = make rng in
+                  Runner.paper_quad profile rng g))
         in
         let q = Runner.averaged_quads quads in
         let open Runner in

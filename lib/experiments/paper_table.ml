@@ -19,9 +19,14 @@ let collect profile ~seed_tag rows =
       let replicates = max 1 (profile.Profile.replicates * row.replicate_factor) in
       let quads =
         List.init replicates (fun j ->
-            let rng = Rng.create ~seed:(row_seed profile ~seed_tag row j) in
-            let g = row.make rng in
-            Runner.paper_quad profile rng g)
+            let seed = row_seed profile ~seed_tag row j in
+            Gb_obs.Telemetry.with_context
+              ~graph:(Printf.sprintf "%s/%s/rep%d" seed_tag row.label j)
+              ~seed
+              (fun () ->
+                let rng = Rng.create ~seed in
+                let g = row.make rng in
+                Runner.paper_quad profile rng g))
       in
       { row; quad = Runner.averaged_quads quads })
     rows

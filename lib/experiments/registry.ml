@@ -5,8 +5,28 @@ type experiment = {
   run : Profile.t -> string;
 }
 
+(* Every experiment runs under a trace span and with its profile name
+   in the ambient telemetry context, so records emitted from deep
+   inside the tables carry the right labels. *)
+let traced e =
+  {
+    e with
+    run =
+      (fun profile ->
+        Gb_obs.Trace.with_span "experiment"
+          ~args:
+            [
+              ("id", Gb_obs.Json.String e.id);
+              ("profile", Gb_obs.Json.String profile.Profile.name);
+            ]
+          (fun () ->
+            Gb_obs.Telemetry.with_context ~profile:profile.Profile.name (fun () ->
+                e.run profile)));
+  }
+
 let all =
-  [
+  List.map traced
+  @@ [
     {
       id = "table1";
       paper_ref = "Table 1 (E-T1)";

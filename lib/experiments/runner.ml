@@ -1,6 +1,7 @@
 module Rng = Gb_prng.Rng
 module Csr = Gb_graph.Csr
 module Bisection = Gb_partition.Bisection
+module Obs = Gb_obs
 
 type algorithm = Sa | Csa | Kl | Ckl | Fm | Multilevel_kl
 
@@ -29,31 +30,122 @@ type run = { cut : int; seconds : float; balanced : bool }
 let sa_config (profile : Profile.t) =
   { Gb_anneal.Sa_bisect.default_config with schedule = profile.Profile.sa_schedule }
 
-let run_once profile rng algorithm g =
+(* Run the algorithm and return the bisection together with its
+   algorithm-specific final stats, flattened for the telemetry record. *)
+let run_algorithm profile rng algorithm g =
+  let open Obs.Json in
+  let sa_detail (s : Gb_anneal.Sa_bisect.stats) =
+    let sa = s.Gb_anneal.Sa_bisect.sa in
+    [
+      ("temperatures", Int sa.Gb_anneal.Sa.temperatures);
+      ("attempted", Int sa.Gb_anneal.Sa.attempted);
+      ("accepted", Int sa.Gb_anneal.Sa.accepted);
+      ("uphill_accepted", Int sa.Gb_anneal.Sa.uphill_accepted);
+      ("initial_temperature", Float sa.Gb_anneal.Sa.initial_temperature);
+      ("final_temperature", Float sa.Gb_anneal.Sa.final_temperature);
+      ("frozen", Bool sa.Gb_anneal.Sa.frozen);
+      ("best_was_snapshot", Bool s.Gb_anneal.Sa_bisect.best_was_snapshot);
+      ("initial_cut", Int s.Gb_anneal.Sa_bisect.initial_cut);
+    ]
+  in
+  let kl_detail (s : Gb_kl.Kl.stats) =
+    [
+      ("passes", Int s.Gb_kl.Kl.passes);
+      ("swaps", Int s.Gb_kl.Kl.swaps);
+      ("initial_cut", Int s.Gb_kl.Kl.initial_cut);
+    ]
+  in
+  let compaction_detail (s : Gb_compaction.Compaction.stats) =
+    [
+      ("levels", Int s.Gb_compaction.Compaction.levels);
+      ("coarse_vertices", Int s.Gb_compaction.Compaction.coarse_vertices);
+      ("coarse_cut", Int s.Gb_compaction.Compaction.coarse_cut);
+      ("projected_cut", Int s.Gb_compaction.Compaction.projected_cut);
+    ]
+  in
+  match algorithm with
+  | Sa ->
+      let b, s = Gb_anneal.Sa_bisect.run ~config:(sa_config profile) rng g in
+      (b, sa_detail s)
+  | Csa ->
+      let b, s = Gb_compaction.Compaction.csa ~config:(sa_config profile) rng g in
+      (b, compaction_detail s)
+  | Kl ->
+      let b, s = Gb_kl.Kl.run ~config:profile.Profile.kl_config rng g in
+      (b, kl_detail s)
+  | Ckl ->
+      let b, s = Gb_compaction.Compaction.ckl ~config:profile.Profile.kl_config rng g in
+      (b, compaction_detail s)
+  | Fm ->
+      let b, s = Gb_kl.Fm.run rng g in
+      ( b,
+        [
+          ("passes", Int s.Gb_kl.Fm.passes);
+          ("moves", Int s.Gb_kl.Fm.moves);
+          ("initial_cut", Int s.Gb_kl.Fm.initial_cut);
+        ] )
+  | Multilevel_kl ->
+      let b, s =
+        Gb_compaction.Compaction.recursive
+          ~refiner:
+            (Gb_compaction.Compaction.kl_refiner ~config:profile.Profile.kl_config ())
+          rng g
+      in
+      (b, compaction_detail s)
+
+let run_once_record ?(start = 0) ?collect profile rng algorithm g =
+  (* Collecting a trajectory costs an allocation per pass/plateau, so
+     only do it when someone will read it: an installed telemetry
+     writer, or a caller that asked explicitly (the figures). *)
+  let collect =
+    match collect with Some c -> c | None -> Obs.Telemetry.writer_installed ()
+  in
   let t0 = Unix.gettimeofday () in
-  let bisection =
-    match algorithm with
-    | Sa -> fst (Gb_anneal.Sa_bisect.run ~config:(sa_config profile) rng g)
-    | Csa -> fst (Gb_compaction.Compaction.csa ~config:(sa_config profile) rng g)
-    | Kl -> fst (Gb_kl.Kl.run ~config:profile.Profile.kl_config rng g)
-    | Ckl -> fst (Gb_compaction.Compaction.ckl ~config:profile.Profile.kl_config rng g)
-    | Fm -> fst (Gb_kl.Fm.run rng g)
-    | Multilevel_kl ->
-        fst
-          (Gb_compaction.Compaction.recursive
-             ~refiner:
-               (Gb_compaction.Compaction.kl_refiner ~config:profile.Profile.kl_config ())
-             rng g)
+  let span = Obs.Trace.start () in
+  let (bisection, detail), trajectory =
+    if collect then
+      Obs.Telemetry.with_collector (fun () -> run_algorithm profile rng algorithm g)
+    else (run_algorithm profile rng algorithm g, [])
   in
   let seconds = Unix.gettimeofday () -. t0 in
-  { cut = Bisection.cut bisection; seconds; balanced = Bisection.is_balanced bisection }
+  let cut = Bisection.cut bisection in
+  let balanced = Bisection.is_balanced bisection in
+  Obs.Trace.finish span "runner.trial"
+    ~args:
+      [
+        ("algorithm", Obs.Json.String (name algorithm));
+        ("start", Obs.Json.Int start);
+        ("cut", Obs.Json.Int cut);
+        ("vertices", Obs.Json.Int (Csr.n_vertices g));
+      ];
+  let record =
+    {
+      Obs.Telemetry.algorithm = name algorithm;
+      graph =
+        (match Obs.Telemetry.context_graph () with
+        | Some label -> label
+        | None -> Printf.sprintf "n%d-m%d" (Csr.n_vertices g) (Csr.n_edges g));
+      profile = profile.Profile.name;
+      seed = Obs.Telemetry.context_seed ();
+      start;
+      cut;
+      seconds;
+      balanced;
+      trajectory;
+      metrics = detail;
+    }
+  in
+  Obs.Telemetry.emit record;
+  ({ cut; seconds; balanced }, record)
+
+let run_once profile rng algorithm g = fst (run_once_record profile rng algorithm g)
 
 let best_of_starts profile rng algorithm g =
   let starts = max 1 profile.Profile.starts in
   let rec loop i acc =
     if i = starts then acc
     else begin
-      let r = run_once profile rng algorithm g in
+      let r, _ = run_once_record ~start:i profile rng algorithm g in
       let acc =
         {
           cut = min acc.cut r.cut;
@@ -64,7 +156,7 @@ let best_of_starts profile rng algorithm g =
       loop (i + 1) acc
     end
   in
-  let first = run_once profile rng algorithm g in
+  let first, _ = run_once_record ~start:0 profile rng algorithm g in
   loop 1 first
 
 type quad = { bsa : run; bcsa : run; bkl : run; bckl : run }

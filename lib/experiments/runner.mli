@@ -27,10 +27,30 @@ type run = {
 }
 
 val run_once : Profile.t -> Gb_prng.Rng.t -> algorithm -> Gb_graph.Csr.t -> run
-(** One run from one fresh random start, wall-clock timed. *)
+(** One run from one fresh random start, wall-clock timed. The run is
+    wrapped in a trace span and, when a telemetry writer is installed
+    ({!Gb_obs.Telemetry.set_writer}), emits one telemetry record. *)
+
+val run_once_record :
+  ?start:int ->
+  ?collect:bool ->
+  Profile.t ->
+  Gb_prng.Rng.t ->
+  algorithm ->
+  Gb_graph.Csr.t ->
+  run * Gb_obs.Telemetry.record
+(** Like {!run_once} but also returns the telemetry record: graph and
+    seed labels from the ambient {!Gb_obs.Telemetry.with_context}, the
+    labelled cut trajectory collected during the run ([kl.pass],
+    [sa.plateau], [compaction.level], ...), and the algorithm's final
+    stats. [start] is the trial index recorded in the record.
+    [collect] forces trajectory collection on (or off); by default the
+    trajectory is collected only when a telemetry writer is installed,
+    so uninstrumented runs pay nothing for it. *)
 
 val best_of_starts : Profile.t -> Gb_prng.Rng.t -> algorithm -> Gb_graph.Csr.t -> run
-(** Best cut over [profile.starts] runs; seconds are summed. *)
+(** Best cut over [profile.starts] runs; seconds are summed. Each
+    trial is traced and telemetered individually with its start index. *)
 
 type quad = { bsa : run; bcsa : run; bkl : run; bckl : run }
 

@@ -78,7 +78,11 @@ let obs4_sign_table profile =
     let kl_vs_sa = ref [] and ckl_vs_csa = ref [] in
     for j = 0 to instances - 1 do
       let rng, g = corpus degree j in
-      let quad = Runner.paper_quad profile rng g in
+      let quad =
+        Gb_obs.Telemetry.with_context
+          ~graph:(Printf.sprintf "signtest/deg%g/rep%d" degree j)
+          (fun () -> Runner.paper_quad profile rng g)
+      in
       kl_vs_sa := (quad.Runner.bkl.Runner.cut, quad.Runner.bsa.Runner.cut) :: !kl_vs_sa;
       ckl_vs_csa := (quad.Runner.bckl.Runner.cut, quad.Runner.bcsa.Runner.cut) :: !ckl_vs_csa
     done;

@@ -113,16 +113,23 @@ let refine ?(config = default_config) g side0 =
   let pass_gains = ref [] in
   let moves = ref 0 in
   let passes = ref 0 in
+  let cut = ref initial_cut in
+  Gb_obs.Telemetry.sample "fm.pass" (float_of_int initial_cut);
   (try
      while !passes < config.max_passes do
+       let span = Gb_obs.Trace.start () in
        let next, gain = one_pass_internal ~tolerance:config.tolerance g !side in
        incr passes;
        pass_gains := gain :: !pass_gains;
        if gain > 0 then begin
          Array.iteri (fun v s -> if s <> next.(v) then incr moves) !side;
-         side := next
-       end
-       else if config.until_no_improvement then raise Exit
+         side := next;
+         cut := !cut - gain
+       end;
+       Gb_obs.Telemetry.sample "fm.pass" (float_of_int !cut);
+       Gb_obs.Trace.finish span "fm.pass"
+         ~args:[ ("pass", Gb_obs.Json.Int !passes); ("gain", Gb_obs.Json.Int gain) ];
+       if gain <= 0 && config.until_no_improvement then raise Exit
      done
    with Exit -> ());
   let final_cut = Bisection.compute_cut g !side in

@@ -1,5 +1,17 @@
 module Csr = Gb_graph.Csr
 module Bisection = Gb_partition.Bisection
+module Obs = Gb_obs
+
+(* Observability instruments (no-ops unless Gb_obs is switched on). *)
+let m_passes = Obs.Metrics.counter "kl.passes"
+let m_pairs_scanned = Obs.Metrics.counter "kl.pairs_scanned"
+let m_bucket_updates = Obs.Metrics.counter "kl.gain_bucket_updates"
+let m_swaps = Obs.Metrics.counter "kl.swaps_committed"
+let h_swaps_per_pass = Obs.Metrics.histogram "kl.swaps_per_pass"
+
+(* Work done by a single pass, accumulated locally (plain int refs, so
+   the hot loops carry no conditional) and published once per pass. *)
+type pass_counters = { pairs_scanned : int; bucket_updates : int; committed : int }
 
 type config = { max_passes : int; until_no_improvement : bool }
 
@@ -20,18 +32,20 @@ let check_input g side =
 
 (* Tentatively flip [v] and update unlocked neighbours' gains (both the
    array and their bucket, chosen by current side). *)
-let flip g side gains locked buckets v =
+let flip g side gains locked buckets updates v =
   side.(v) <- 1 - side.(v);
   Csr.iter_neighbors g v (fun u w ->
       if not locked.(u) then begin
         let delta = if side.(u) = side.(v) then -2 * w else 2 * w in
         gains.(u) <- gains.(u) + delta;
-        Gain_buckets.update buckets.(side.(u)) u gains.(u)
+        Gain_buckets.update buckets.(side.(u)) u gains.(u);
+        incr updates
       end)
 
 (* Exact best-pair selection: scan side-0 vertices in descending gain;
-   for each, scan side-1 while the uncorrected sum can still win. *)
-let select_pair g buckets =
+   for each, scan side-1 while the uncorrected sum can still win.
+   [scanned] counts candidate pairs actually evaluated. *)
+let select_pair g buckets scanned =
   let best = ref min_int and best_a = ref (-1) and best_b = ref (-1) in
   (match Gain_buckets.max_gain buckets.(1) with
   | None -> ()
@@ -42,6 +56,7 @@ let select_pair g buckets =
             Gain_buckets.iter_desc buckets.(1) ~f:(fun b gb ->
                 if ga + gb <= !best then `Stop
                 else begin
+                  incr scanned;
                   let cand = ga + gb - (2 * Csr.edge_weight g a b) in
                   if cand > !best then begin
                     best := cand;
@@ -79,17 +94,19 @@ let one_pass_internal g side0 =
   let cumulative = Array.make steps 0 in
   let running = ref 0 in
   let performed = ref 0 in
+  let scanned = ref 0 in
+  let updates = ref 0 in
   (try
      for i = 0 to steps - 1 do
-       match select_pair g buckets with
+       match select_pair g buckets scanned with
        | None -> raise Exit
        | Some (a, b, gain_ab) ->
            Gain_buckets.remove buckets.(0) a;
            Gain_buckets.remove buckets.(1) b;
            locked.(a) <- true;
            locked.(b) <- true;
-           flip g side gains locked buckets a;
-           flip g side gains locked buckets b;
+           flip g side gains locked buckets updates a;
+           flip g side gains locked buckets updates b;
            running := !running + gain_ab;
            pairs.(i) <- (a, b);
            cumulative.(i) <- !running;
@@ -104,7 +121,10 @@ let one_pass_internal g side0 =
       best_k := i + 1
     end
   done;
-  if !best_gain <= 0 then (Array.copy side0, 0)
+  let counters =
+    { pairs_scanned = !scanned; bucket_updates = !updates; committed = !best_k }
+  in
+  if !best_gain <= 0 then (Array.copy side0, 0, counters)
   else begin
     let result = Array.copy side0 in
     for i = 0 to !best_k - 1 do
@@ -112,12 +132,13 @@ let one_pass_internal g side0 =
       result.(a) <- 1 - result.(a);
       result.(b) <- 1 - result.(b)
     done;
-    (result, !best_gain)
+    (result, !best_gain, counters)
   end
 
 let one_pass g side =
   check_input g side;
-  one_pass_internal g side
+  let next, gain, _counters = one_pass_internal g side in
+  (next, gain)
 
 let refine ?(config = default_config) g side0 =
   check_input g side0;
@@ -126,9 +147,12 @@ let refine ?(config = default_config) g side0 =
   let pass_gains = ref [] in
   let swaps = ref 0 in
   let passes = ref 0 in
+  let cut = ref initial_cut in
+  Obs.Telemetry.sample "kl.pass" (float_of_int initial_cut);
   (try
      while !passes < config.max_passes do
-       let next, gain = one_pass_internal g !side in
+       let span = Obs.Trace.start () in
+       let next, gain, counters = one_pass_internal g !side in
        incr passes;
        pass_gains := gain :: !pass_gains;
        if gain > 0 then begin
@@ -136,9 +160,26 @@ let refine ?(config = default_config) g side0 =
          let moved = ref 0 in
          Array.iteri (fun v s -> if s <> next.(v) then incr moved) !side;
          swaps := !swaps + (!moved / 2);
-         side := next
-       end
-       else if config.until_no_improvement then raise Exit
+         side := next;
+         cut := !cut - gain
+       end;
+       Obs.Metrics.incr m_passes;
+       Obs.Metrics.add m_pairs_scanned counters.pairs_scanned;
+       Obs.Metrics.add m_bucket_updates counters.bucket_updates;
+       Obs.Metrics.add m_swaps (if gain > 0 then counters.committed else 0);
+       Obs.Metrics.observe h_swaps_per_pass
+         (float_of_int (if gain > 0 then counters.committed else 0));
+       Obs.Telemetry.sample "kl.pass" (float_of_int !cut);
+       Obs.Trace.finish span "kl.pass"
+         ~args:
+           [
+             ("pass", Obs.Json.Int !passes);
+             ("gain", Obs.Json.Int gain);
+             ("cut", Obs.Json.Int !cut);
+             ("pairs_scanned", Obs.Json.Int counters.pairs_scanned);
+             ("bucket_updates", Obs.Json.Int counters.bucket_updates);
+           ];
+       if gain <= 0 && config.until_no_improvement then raise Exit
      done
    with Exit -> ());
   let final_cut = Bisection.compute_cut g !side in

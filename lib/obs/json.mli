@@ -1,0 +1,33 @@
+(** A deliberately small JSON tree, printer and parser.
+
+    [Gb_obs] must stay dependency-free (it is linked into every
+    algorithm core), so it carries its own ~150-line JSON support
+    instead of pulling in yojson. The printer emits compact one-line
+    JSON (what both the Chrome [trace_event] sink and the
+    [telemetry.jsonl] writer need); the parser exists so that tests and
+    tools can round-trip what the sinks wrote.
+
+    Non-finite floats have no JSON spelling; {!to_string} renders them
+    as [null], which is what trace viewers expect. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (no trailing newline). *)
+
+val of_string : string -> t
+(** Parse a single JSON value.
+    @raise Failure on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** [member key json] looks a key up in an [Obj]; [None] otherwise. *)
+
+val to_float : t -> float option
+(** Numeric accessor accepting both [Int] and [Float]. *)

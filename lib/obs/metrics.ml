@@ -1,0 +1,163 @@
+type counter = { c_name : string; mutable c_value : int }
+
+let n_buckets = 34 (* bucket 0: v < 1; buckets 1..32: [2^(i-1), 2^i); 33: rest *)
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;
+}
+
+type histogram_snapshot = {
+  count : int;
+  sum : float;
+  min_value : float;
+  max_value : float;
+  buckets : (float * int) list;
+}
+
+let switch = ref false
+let set_enabled b = switch := b
+let enabled () = !switch
+
+let counter_registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+let histogram_registry : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt counter_registry name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.add counter_registry name c;
+      c
+
+let incr c = if !switch then c.c_value <- c.c_value + 1
+let add c n = if !switch then c.c_value <- c.c_value + n
+let value c = c.c_value
+
+let histogram name =
+  match Hashtbl.find_opt histogram_registry name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_name = name;
+          h_count = 0;
+          h_sum = 0.;
+          h_min = infinity;
+          h_max = neg_infinity;
+          h_buckets = Array.make n_buckets 0;
+        }
+      in
+      Hashtbl.add histogram_registry name h;
+      h
+
+(* Index of the log2 bucket of [v]: 0 for v < 1, else 1 + floor(log2 v),
+   clamped to the array. *)
+let bucket_index v =
+  if not (v >= 1.) then 0
+  else
+    let _, e = Float.frexp v in
+    (* v = m * 2^e with 0.5 <= m < 1, so 2^(e-1) <= v < 2^e. *)
+    min (n_buckets - 1) (max 1 e)
+
+let bucket_upper_bound i =
+  if i = 0 then 1.
+  else if i = n_buckets - 1 then infinity
+  else Float.ldexp 1. i
+
+let observe h v =
+  if !switch then begin
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let i = bucket_index v in
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1
+  end
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counter_registry;
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_count <- 0;
+      h.h_sum <- 0.;
+      h.h_min <- infinity;
+      h.h_max <- neg_infinity;
+      Array.fill h.h_buckets 0 n_buckets 0)
+    histogram_registry
+
+let sorted_names tbl =
+  Hashtbl.fold (fun name _ acc -> name :: acc) tbl [] |> List.sort compare
+
+let counters () =
+  List.map
+    (fun name -> (name, (Hashtbl.find counter_registry name).c_value))
+    (sorted_names counter_registry)
+
+let snapshot_of h =
+  let buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then
+      buckets := (bucket_upper_bound i, h.h_buckets.(i)) :: !buckets
+  done;
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min_value = h.h_min;
+    max_value = h.h_max;
+    buckets = !buckets;
+  }
+
+let histograms () =
+  List.map
+    (fun name -> (name, snapshot_of (Hashtbl.find histogram_registry name)))
+    (sorted_names histogram_registry)
+
+let snapshot_json () =
+  let counter_fields = List.map (fun (name, v) -> (name, Json.Int v)) (counters ()) in
+  let histogram_fields =
+    List.map
+      (fun (name, s) ->
+        ( name,
+          Json.Obj
+            [
+              ("count", Json.Int s.count);
+              ("sum", Json.Float s.sum);
+              ("min", Json.Float s.min_value);
+              ("max", Json.Float s.max_value);
+              ( "buckets",
+                Json.List
+                  (List.map
+                     (fun (le, n) ->
+                       Json.Obj [ ("le", Json.Float le); ("count", Json.Int n) ])
+                     s.buckets) );
+            ] ))
+      (histograms ())
+  in
+  Json.Obj [ ("counters", Json.Obj counter_fields); ("histograms", Json.Obj histogram_fields) ]
+
+let render () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "counters:\n";
+  List.iter
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %d\n" name v))
+    (counters ());
+  let hs = histograms () in
+  if hs <> [] then begin
+    Buffer.add_string buf "histograms:\n";
+    List.iter
+      (fun (name, s) ->
+        if s.count = 0 then
+          Buffer.add_string buf (Printf.sprintf "  %-32s (empty)\n" name)
+        else
+          Buffer.add_string buf
+            (Printf.sprintf "  %-32s count %d  mean %.2f  min %g  max %g\n" name s.count
+               (s.sum /. float_of_int s.count)
+               s.min_value s.max_value))
+      hs
+  end;
+  Buffer.contents buf

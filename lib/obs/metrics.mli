@@ -1,0 +1,60 @@
+(** Monotonic counters and histograms for the algorithm hot paths.
+
+    Counters and histograms are interned by name in a global registry
+    ([kl.pairs_scanned], [sa.accepted_uphill], ...), so a library can
+    declare its instruments once at module initialisation and bump them
+    from inner loops. Recording is gated on a single global switch
+    (default {e off}): when disabled, {!add} and {!observe} return
+    immediately, and nothing the algorithms compute depends on a
+    counter's value — results and RNG streams are identical either way.
+
+    Histograms are log2-bucketed (bucket [i] counts observations in
+    [[2^(i-1), 2^i)]), which is the right shape for "swaps per pass" or
+    "matching size" style distributions whose interesting structure is
+    multiplicative. *)
+
+type counter
+type histogram
+
+type histogram_snapshot = {
+  count : int;
+  sum : float;
+  min_value : float;  (** [+inf] when empty. *)
+  max_value : float;  (** [-inf] when empty. *)
+  buckets : (float * int) list;
+      (** [(upper_bound, count)] for each non-empty log2 bucket,
+          ascending; an observation [v] lands in the first bucket with
+          [v < upper_bound]. *)
+}
+
+val set_enabled : bool -> unit
+(** Master switch; [false] at startup. *)
+
+val enabled : unit -> bool
+
+val counter : string -> counter
+(** Intern (create or look up) the counter with this name. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val histogram : string -> histogram
+(** Intern the histogram with this name. *)
+
+val observe : histogram -> float -> unit
+
+val reset : unit -> unit
+(** Zero every registered counter and histogram (keeps registrations). *)
+
+val counters : unit -> (string * int) list
+(** All registered counters with their values, sorted by name. *)
+
+val histograms : unit -> (string * histogram_snapshot) list
+
+val snapshot_json : unit -> Json.t
+(** [{"counters": {...}, "histograms": {...}}] — the "final metrics
+    snapshot" embedded in telemetry records and [--metrics] output. *)
+
+val render : unit -> string
+(** Human-readable multi-line listing (the CLI's [--metrics] output). *)

@@ -1,0 +1,85 @@
+type record = {
+  algorithm : string;
+  graph : string;
+  profile : string;
+  seed : int option;
+  start : int;
+  cut : int;
+  seconds : float;
+  balanced : bool;
+  trajectory : (string * float) list;
+  metrics : (string * Json.t) list;
+}
+
+let to_json r =
+  Json.Obj
+    [
+      ("algorithm", Json.String r.algorithm);
+      ("graph", Json.String r.graph);
+      ("profile", Json.String r.profile);
+      ("seed", match r.seed with Some s -> Json.Int s | None -> Json.Null);
+      ("start", Json.Int r.start);
+      ("cut", Json.Int r.cut);
+      ("seconds", Json.Float r.seconds);
+      ("balanced", Json.Bool r.balanced);
+      ( "trajectory",
+        Json.List
+          (List.map
+             (fun (k, v) -> Json.Obj [ ("k", Json.String k); ("v", Json.Float v) ])
+             r.trajectory) );
+      ("metrics", Json.Obj r.metrics);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Collector                                                           *)
+
+let collector : (string * float) list ref option ref = ref None
+
+let sample label v =
+  match !collector with None -> () | Some points -> points := (label, v) :: !points
+
+let collecting () = !collector <> None
+
+let with_collector f =
+  let previous = !collector in
+  let points = ref [] in
+  collector := Some points;
+  let result =
+    Fun.protect ~finally:(fun () -> collector := previous) f
+  in
+  (result, List.rev !points)
+
+(* ------------------------------------------------------------------ *)
+(* Context                                                             *)
+
+type context = { profile : string option; graph : string option; seed : int option }
+
+let context = ref { profile = None; graph = None; seed = None }
+
+let with_context ?profile ?graph ?seed f =
+  let previous = !context in
+  let pick fresh inherited = match fresh with Some _ -> fresh | None -> inherited in
+  context :=
+    {
+      profile = pick profile previous.profile;
+      graph = pick graph previous.graph;
+      seed = pick seed previous.seed;
+    };
+  Fun.protect ~finally:(fun () -> context := previous) f
+
+let context_profile () = !context.profile
+let context_graph () = !context.graph
+let context_seed () = !context.seed
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+
+let writer : (record -> unit) option ref = ref None
+let set_writer w = writer := w
+let writer_installed () = !writer <> None
+let emit r = match !writer with None -> () | Some w -> w r
+
+let to_channel oc r =
+  output_string oc (Json.to_string (to_json r));
+  output_char oc '\n';
+  flush oc

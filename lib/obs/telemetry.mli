@@ -1,0 +1,73 @@
+(** Per-run telemetry records and the trajectory collector.
+
+    The paper's claims are trajectory claims — cut vs. pass for KL
+    (Figure 2 protocol), cut vs. temperature for SA (Figure 1) — so a
+    telemetry {!record} carries the sampled trajectory of one run,
+    not just its endpoint: which algorithm, on which labelled graph,
+    from which start, the cut/cost after every pass or plateau, and a
+    final metrics snapshot. [bench/main.exe --out DIR] appends one
+    JSON line per record to [DIR/telemetry.jsonl].
+
+    {b Trajectory collection.} Algorithm cores call {!sample} with a
+    label ("kl.pass", "sa.plateau", "compaction.level") at each
+    structural step. Samples go to the innermost active collector
+    ({!with_collector}, installed by the experiment runner around each
+    trial) and are dropped — one global read — when none is active, so
+    instrumented libraries never pay for telemetry they did not ask
+    for, and composed algorithms (KL inside compaction) contribute
+    their samples to the enclosing run automatically.
+
+    {b Context.} Graph labels and seeds are not threaded through every
+    algorithm signature; the harness scopes them with {!with_context}
+    and the runner reads them back when it builds the record. *)
+
+type record = {
+  algorithm : string;  (** "KL", "SA", "CKL", ... *)
+  graph : string;  (** Harness label, e.g. ["gbreg-5000-3/b=8/rep0"]. *)
+  profile : string;  (** Profile name ("smoke", "quick", "paper"). *)
+  seed : int option;  (** The replicate's RNG seed, when the harness knows it. *)
+  start : int;  (** Trial index within a best-of-starts protocol. *)
+  cut : int;
+  seconds : float;
+  balanced : bool;
+  trajectory : (string * float) list;
+      (** Labelled samples in recording order, e.g.
+          [("kl.pass", cut-after-pass)]. *)
+  metrics : (string * Json.t) list;  (** Algorithm-specific final stats. *)
+}
+
+val to_json : record -> Json.t
+
+(* {2 Collector} *)
+
+val sample : string -> float -> unit
+(** Record a labelled trajectory point; no-op without a collector. *)
+
+val collecting : unit -> bool
+
+val with_collector : (unit -> 'a) -> 'a * (string * float) list
+(** Run a thunk with a fresh innermost collector; returns its result
+    and the samples recorded, in order. Nestable (the inner collector
+    shadows the outer for its extent). *)
+
+(* {2 Context} *)
+
+val with_context :
+  ?profile:string -> ?graph:string -> ?seed:int -> (unit -> 'a) -> 'a
+(** Scope harness labels; omitted fields inherit the enclosing scope. *)
+
+val context_profile : unit -> string option
+val context_graph : unit -> string option
+val context_seed : unit -> int option
+
+(* {2 Emission} *)
+
+val set_writer : (record -> unit) option -> unit
+(** Install (or remove) the global record writer. *)
+
+val writer_installed : unit -> bool
+val emit : record -> unit
+(** Hand a record to the writer; no-op when none is installed. *)
+
+val to_channel : out_channel -> record -> unit
+(** JSONL writer: one [to_json] line per record, flushed. *)

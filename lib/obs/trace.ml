@@ -1,0 +1,67 @@
+type sink = Noop | Writer of { write : string -> unit; close_writer : unit -> unit }
+type span = float (* start timestamp in microseconds; nan = disabled *)
+
+let noop = Noop
+let of_writer write = Writer { write; close_writer = ignore }
+
+let to_file path =
+  let oc = open_out path in
+  Writer { write = output_string oc; close_writer = (fun () -> close_out oc) }
+
+let current = ref Noop
+
+let close () =
+  (match !current with Noop -> () | Writer w -> w.close_writer ());
+  current := Noop
+
+let set sink =
+  close ();
+  current := sink
+
+let () = at_exit close
+let enabled () = !current <> Noop
+
+let clock = ref Sys.time
+let set_clock f = clock := f
+let now_us () = !clock () *. 1e6
+
+(* One trace_event object per line. Single-threaded process: pid/tid
+   are constants, which Perfetto renders as a single track. *)
+let emit ~ph ?dur ?(args = []) ~ts name =
+  match !current with
+  | Noop -> ()
+  | Writer w ->
+      let fields =
+        [
+          ("name", Json.String name);
+          ("cat", Json.String "gbisect");
+          ("ph", Json.String ph);
+          (* integral µs: full precision survives the compact float
+             printer even at epoch scale *)
+          ("ts", Json.Float (Float.round ts));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 1);
+        ]
+      in
+      let fields =
+        match dur with
+        | Some d -> fields @ [ ("dur", Json.Float (Float.round d)) ]
+        | None -> fields
+      in
+      let fields = match args with [] -> fields | _ -> fields @ [ ("args", Json.Obj args) ] in
+      w.write (Json.to_string (Json.Obj fields) ^ "\n")
+
+let start () = if enabled () then now_us () else Float.nan
+
+let finish ?args span name =
+  if enabled () && not (Float.is_nan span) then
+    emit ~ph:"X" ~dur:(Float.max 0. (now_us () -. span)) ?args ~ts:span name
+
+let with_span ?args name f =
+  if not (enabled ()) then f ()
+  else begin
+    let span = start () in
+    Fun.protect ~finally:(fun () -> finish ?args span name) f
+  end
+
+let instant ?args name = if enabled () then emit ~ph:"i" ?args ~ts:(now_us ()) name

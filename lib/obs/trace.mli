@@ -1,0 +1,58 @@
+(** Span-based tracing with a Chrome [trace_event] sink.
+
+    Algorithms open spans around their structural units — a KL pass, an
+    SA temperature plateau, a compaction phase, a runner trial — and
+    the active sink turns each into one JSON event per line in the
+    Chrome trace-event format ([ph:"X"] complete events and [ph:"i"]
+    instants), loadable as-is in {{:https://ui.perfetto.dev}Perfetto}
+    or [chrome://tracing].
+
+    The default sink is {!noop}: {!start} returns a null span, and
+    {!finish}/{!instant} return before formatting anything, so the
+    instrumentation costs one global read on the hot path and never
+    perturbs results or RNG streams.
+
+    Timestamps come from a pluggable clock so the library itself needs
+    no [unix] dependency: the default is [Sys.time] (CPU seconds);
+    executables that link [unix] install [Unix.gettimeofday] via
+    {!set_clock} for wall-clock traces. *)
+
+type sink
+type span
+
+val noop : sink
+(** Discards everything (the default). *)
+
+val of_writer : (string -> unit) -> sink
+(** Sink calling the writer with one complete JSON line (newline
+    included) per event — e.g. [Buffer.add_string] in tests. *)
+
+val to_file : string -> sink
+(** Open [path] for writing and stream events to it. The channel is
+    closed by {!close} (or at process exit). *)
+
+val set : sink -> unit
+(** Install a sink. Installing over a file sink closes it. *)
+
+val close : unit -> unit
+(** Flush and close the current sink and revert to {!noop}. *)
+
+val enabled : unit -> bool
+
+val set_clock : (unit -> float) -> unit
+(** Provide a clock in seconds (e.g. [Unix.gettimeofday]). *)
+
+val start : unit -> span
+(** Begin a span. Free (a null value) when tracing is disabled. *)
+
+val finish : ?args:(string * Json.t) list -> span -> string -> unit
+(** [finish span name] emits a complete event covering the time since
+    [start]. The name is given at the end so that end-of-span values
+    (a pass's gain, a plateau's acceptance) can be attached as args. *)
+
+val with_span : ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** Run a thunk inside a span; the event is emitted even if the thunk
+    raises. *)
+
+val instant : ?args:(string * Json.t) list -> string -> unit
+(** A zero-duration point event. *)

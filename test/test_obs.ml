@@ -1,0 +1,271 @@
+(* Tests for Gb_obs: the JSON codec, counters/histograms, the trace
+   sink, telemetry records, and — the contract that matters most — that
+   turning observability on changes neither results nor RNG streams. *)
+
+module Obs = Gbisect.Obs
+module Json = Obs.Json
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
+module Telemetry = Obs.Telemetry
+module Classic = Gbisect.Classic
+module Kl = Gbisect.Kl
+module Rng = Gbisect.Rng
+module Runner = Gbisect.Runner
+module Profile = Gbisect.Profile
+
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+(* Leave the global observability state exactly as we found it. *)
+let pristine f =
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ();
+      Trace.set Trace.noop;
+      Telemetry.set_writer None)
+    f
+
+(* --- JSON ------------------------------------------------------------------ *)
+
+let json_tests =
+  [
+    case "to_string / of_string round-trip" (fun () ->
+        let v =
+          Json.Obj
+            [
+              ("name", Json.String "kl.pass");
+              ("n", Json.Int (-3));
+              ("x", Json.Float 1.5);
+              ("ok", Json.Bool true);
+              ("none", Json.Null);
+              ("xs", Json.List [ Json.Int 1; Json.Int 2 ]);
+            ]
+        in
+        check_bool "round-trip" true (Json.of_string (Json.to_string v) = v));
+    case "escapes and parses tricky strings" (fun () ->
+        let s = "a\"b\\c\nd\te\x01f" in
+        match Json.of_string (Json.to_string (Json.String s)) with
+        | Json.String s' -> Alcotest.(check string) "string" s s'
+        | _ -> Alcotest.fail "not a string");
+    case "member and to_float" (fun () ->
+        let v = Json.of_string {|{"a": 2.5, "b": {"c": 7}}|} in
+        check_bool "a" true (Option.bind (Json.member "a" v) Json.to_float = Some 2.5);
+        check_bool "missing" true (Json.member "zzz" v = None));
+    case "rejects trailing garbage" (fun () ->
+        match Json.of_string "{} trailing" with
+        | exception _ -> ()
+        | _ -> Alcotest.fail "accepted trailing garbage");
+  ]
+
+(* --- Metrics --------------------------------------------------------------- *)
+
+let metrics_tests =
+  [
+    case "counters are off by default and exact when on" (fun () ->
+        pristine (fun () ->
+            let c = Metrics.counter "test.counter" in
+            Metrics.incr c;
+            check_int "disabled incr ignored" 0 (Metrics.value c);
+            Metrics.set_enabled true;
+            Metrics.incr c;
+            Metrics.add c 4;
+            check_int "counts" 5 (Metrics.value c);
+            Metrics.reset ();
+            check_int "reset" 0 (Metrics.value c)));
+    case "KL counters agree with KL stats on ladder 4" (fun () ->
+        pristine (fun () ->
+            Metrics.set_enabled true;
+            Metrics.reset ();
+            let g = Classic.ladder 4 in
+            let rng = Rng.create ~seed:7 in
+            let bisection, stats = Kl.run rng g in
+            let v name = Metrics.value (Metrics.counter name) in
+            check_int "passes" stats.Kl.passes (v "kl.passes");
+            check_int "swaps" stats.Kl.swaps (v "kl.swaps_committed");
+            check_bool "pairs scanned" true (v "kl.pairs_scanned" > 0);
+            check_bool "bucket updates" true (v "kl.gain_bucket_updates" > 0);
+            check_bool "balanced" true (Gbisect.Bisection.is_balanced bisection);
+            (* the run's final cut must match the bisection's *)
+            check_int "final cut" stats.Kl.final_cut (Gbisect.Bisection.cut bisection)));
+    case "histogram snapshot sums observations" (fun () ->
+        pristine (fun () ->
+            Metrics.set_enabled true;
+            let h = Metrics.histogram "test.histogram" in
+            List.iter (fun x -> Metrics.observe h x) [ 1.0; 2.0; 4.0 ];
+            match List.assoc_opt "test.histogram" (Metrics.histograms ()) with
+            | None -> Alcotest.fail "histogram missing"
+            | Some s ->
+                check_int "count" 3 s.Metrics.count;
+                Alcotest.(check (float 1e-9)) "sum" 7.0 s.Metrics.sum));
+    case "snapshot_json parses back" (fun () ->
+        pristine (fun () ->
+            Metrics.set_enabled true;
+            Metrics.incr (Metrics.counter "test.one");
+            let v = Json.of_string (Json.to_string (Metrics.snapshot_json ())) in
+            check_bool "has counters" true (Json.member "counters" v <> None);
+            check_bool "has histograms" true (Json.member "histograms" v <> None)));
+  ]
+
+(* --- Trace ----------------------------------------------------------------- *)
+
+let trace_lines f =
+  let buf = Buffer.create 256 in
+  pristine (fun () ->
+      Trace.set (Trace.of_writer (Buffer.add_string buf));
+      f ();
+      Trace.set Trace.noop);
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> String.trim l <> "")
+
+let trace_tests =
+  [
+    case "spans emit valid trace_event JSON lines" (fun () ->
+        let lines =
+          trace_lines (fun () ->
+              Trace.with_span "outer"
+                ~args:[ ("k", Json.Int 1) ]
+                (fun () -> Trace.instant "tick"))
+        in
+        check_int "two events" 2 (List.length lines);
+        List.iter
+          (fun line ->
+            let v = Json.of_string line in
+            List.iter
+              (fun key -> check_bool (key ^ " present") true (Json.member key v <> None))
+              [ "name"; "ph"; "ts"; "pid"; "tid" ])
+          lines;
+        (* the span line is a complete event with a duration *)
+        let span =
+          List.find
+            (fun l -> Json.member "name" (Json.of_string l) = Some (Json.String "outer"))
+            lines
+        in
+        check_bool "ph X" true (Json.member "ph" (Json.of_string span) = Some (Json.String "X"));
+        check_bool "dur" true (Json.member "dur" (Json.of_string span) <> None));
+    case "kl refine emits kl.pass spans" (fun () ->
+        let lines =
+          trace_lines (fun () ->
+              let g = Classic.ladder 16 in
+              let rng = Rng.create ~seed:3 in
+              ignore (Kl.run rng g))
+        in
+        let names =
+          List.filter_map (fun l -> Json.member "name" (Json.of_string l)) lines
+        in
+        check_bool "has kl.pass span" true (List.mem (Json.String "kl.pass") names));
+    case "noop sink writes nothing and is not enabled" (fun () ->
+        pristine (fun () ->
+            Trace.set Trace.noop;
+            check_bool "disabled" false (Trace.enabled ());
+            (* must be harmless without a sink *)
+            Trace.with_span "ignored" (fun () -> ())));
+  ]
+
+(* --- Determinism: observability must never change results ------------------ *)
+
+let determinism_tests =
+  [
+    case "obs on vs off: identical cut and RNG stream" (fun () ->
+        let run () =
+          let g = Classic.ladder 32 in
+          let rng = Rng.create ~seed:11 in
+          let b, _ = Kl.run rng g in
+          (* drawing after the run exposes any extra RNG consumption *)
+          (Gbisect.Bisection.cut b, Rng.int rng 1_000_000)
+        in
+        let off = run () in
+        let on =
+          pristine (fun () ->
+              Metrics.set_enabled true;
+              Trace.set (Trace.of_writer (fun _ -> ()));
+              let result, _samples = Telemetry.with_collector run in
+              result)
+        in
+        check_bool "bit-identical" true (off = on));
+    case "sa obs on vs off: identical result" (fun () ->
+        let run () =
+          let g = Classic.ladder 8 in
+          let rng = Rng.create ~seed:5 in
+          let b, _ = Gbisect.Sa_bisect.run rng g in
+          (Gbisect.Bisection.cut b, Rng.int rng 1_000_000)
+        in
+        let off = run () in
+        let on =
+          pristine (fun () ->
+              Metrics.set_enabled true;
+              fst (Telemetry.with_collector run))
+        in
+        check_bool "bit-identical" true (off = on));
+  ]
+
+(* --- Telemetry ------------------------------------------------------------- *)
+
+let telemetry_tests =
+  [
+    case "record to_json carries all fields" (fun () ->
+        let r =
+          {
+            Telemetry.algorithm = "KL";
+            graph = "ladder-4";
+            profile = "smoke";
+            seed = Some 42;
+            start = 1;
+            cut = 2;
+            seconds = 0.5;
+            balanced = true;
+            trajectory = [ ("kl.pass", 10.); ("kl.pass", 2.) ];
+            metrics = [ ("passes", Json.Int 2) ];
+          }
+        in
+        let v = Json.of_string (Json.to_string (Telemetry.to_json r)) in
+        check_bool "algorithm" true
+          (Json.member "algorithm" v = Some (Json.String "KL"));
+        check_bool "seed" true (Json.member "seed" v = Some (Json.Int 42));
+        match Json.member "trajectory" v with
+        | Some (Json.List [ _; _ ]) -> ()
+        | _ -> Alcotest.fail "trajectory shape");
+    case "with_context scopes and inherits labels" (fun () ->
+        Telemetry.with_context ~graph:"g1" ~seed:9 (fun () ->
+            check_bool "graph" true (Telemetry.context_graph () = Some "g1");
+            Telemetry.with_context ~profile:"p" (fun () ->
+                check_bool "inherited seed" true (Telemetry.context_seed () = Some 9);
+                check_bool "profile" true (Telemetry.context_profile () = Some "p")));
+        check_bool "restored" true (Telemetry.context_graph () = None));
+    case "runner emits one record per start with a trajectory" (fun () ->
+        pristine (fun () ->
+            let records = ref [] in
+            Telemetry.set_writer (Some (fun r -> records := r :: !records));
+            let profile = Profile.smoke in
+            let g = Classic.ladder 16 in
+            let rng = Rng.create ~seed:1 in
+            let run =
+              Telemetry.with_context ~graph:"ladder-16" (fun () ->
+                  Runner.best_of_starts profile rng Runner.Kl g)
+            in
+            let records = List.rev !records in
+            check_int "one per start" (max 1 profile.Profile.starts)
+              (List.length records);
+            check_bool "balanced" true run.Runner.balanced;
+            List.iteri
+              (fun i r ->
+                check_int "start index" i r.Telemetry.start;
+                Alcotest.(check string) "graph label" "ladder-16" r.Telemetry.graph;
+                check_bool "has kl.pass samples" true
+                  (List.exists (fun (k, _) -> k = "kl.pass") r.Telemetry.trajectory))
+              records;
+            (* the best-of-starts cut is one of the per-start cuts *)
+            check_bool "best cut among records" true
+              (List.exists (fun r -> r.Telemetry.cut = run.Runner.cut) records)));
+  ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("json", json_tests);
+      ("metrics", metrics_tests);
+      ("trace", trace_tests);
+      ("determinism", determinism_tests);
+      ("telemetry", telemetry_tests);
+    ]
