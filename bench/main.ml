@@ -17,14 +17,21 @@ module Registry = Gbisect.Registry
 module Profile = Gbisect.Profile
 module Rng = Gbisect.Rng
 module Obs = Gbisect.Obs
+module Pool = Gbisect.Pool
 
 let usage () =
   print_endline
-    "usage: main.exe [--profile smoke|quick|paper] [--list] [--no-bechamel] [--out DIR] \
-     [--trace FILE] [ids...]\n\n\
+    "usage: main.exe [--profile smoke|quick|paper] [--jobs N] [--list] [--no-bechamel] \
+     [--out DIR] [--trace FILE] [--parallel-bench FILE] [ids...]\n\n\
+     --jobs N     domains for the parallel fan-out points (default: all cores;\n\
+    \             1 = sequential). Tables are bit-identical at any N, see\n\
+    \             PARALLELISM.md\n\
      --out DIR    also write per-table text files, DIR/telemetry.jsonl (one JSON\n\
     \             record per algorithm run) and DIR/metrics.json (counters)\n\
-     --trace FILE write Chrome trace_event JSON lines (load in Perfetto)"
+     --trace FILE write Chrome trace_event JSON lines (load in Perfetto)\n\
+     --parallel-bench FILE  time each selected table at --jobs 1 vs --jobs N and\n\
+    \             write the sequential/parallel wall-clock and speedup as JSON\n\
+    \             (the BENCH_parallel.json probe)"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel probes: one Test.make per table. Each probe times the
@@ -113,12 +120,59 @@ let run_bechamel ids =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* The BENCH_parallel.json probe: time each selected table sequentially
+   (--jobs 1) and on the full pool, report wall-clock and speedup. Runs
+   after the telemetry writer is detached so the probe repeats don't
+   pollute telemetry.jsonl.                                            *)
+
+let run_parallel_bench profile selected jobs file =
+  let time_with j e =
+    Pool.set_jobs j;
+    let t0 = Unix.gettimeofday () in
+    ignore (e.Registry.run profile);
+    Unix.gettimeofday () -. t0
+  in
+  let rows =
+    List.map
+      (fun e ->
+        let seq = time_with 1 e in
+        let par = time_with jobs e in
+        Printf.printf "  %-18s sequential %.2fs  parallel(%d) %.2fs  speedup %.2fx\n"
+          e.Registry.id seq jobs par (seq /. par);
+        flush stdout;
+        Printf.sprintf
+          "    {\"id\": %S, \"sequential_s\": %.4f, \"parallel_s\": %.4f, \"speedup\": %.3f}"
+          e.Registry.id seq par (seq /. par))
+      selected
+  in
+  Pool.set_jobs jobs;
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"jobs\": %d,\n\
+        \  \"recommended_domains\": %d,\n\
+        \  \"profile\": %S,\n\
+        \  \"tables\": [\n\
+         %s\n\
+        \  ]\n\
+         }\n"
+        jobs
+        (Domain.recommended_domain_count ())
+        profile.Profile.name
+        (String.concat ",\n" rows));
+  Printf.printf "parallel bench written to %s\n\n" file
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let profile = ref Profile.quick in
   let bechamel = ref true in
   let out_dir = ref None in
   let trace_file = ref None in
+  let parallel_bench = ref None in
   let ids = ref [] in
   let rec parse = function
     | [] -> ()
@@ -139,6 +193,17 @@ let () =
     | "--trace" :: file :: rest ->
         trace_file := Some file;
         parse rest
+    | "--parallel-bench" :: file :: rest ->
+        parallel_bench := Some file;
+        parse rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            Pool.set_jobs n;
+            parse rest
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+            exit 2)
     | "--profile" :: name :: rest -> (
         match Profile.by_name name with
         | Some p ->
@@ -166,10 +231,11 @@ let () =
           ids
   in
   Printf.printf
-    "gbisect benchmark harness — profile %s (scale: 5000 -> %d vertices)\n\
+    "gbisect benchmark harness — profile %s (scale: 5000 -> %d vertices), %d jobs\n\
      reproducing: Bui, Heigham, Jones & Leighton, DAC 1989\n\n"
     !profile.Profile.name
-    (Profile.scaled !profile 5000);
+    (Profile.scaled !profile 5000)
+    (Pool.jobs ());
   let t_start = Unix.gettimeofday () in
   (match !out_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
@@ -189,13 +255,12 @@ let () =
         Some oc
     | None -> None
   in
+  (* Experiments fan out over the pool; output is buffered per
+     experiment and printed here in presentation order. *)
   List.iter
-    (fun e ->
-      let t0 = Unix.gettimeofday () in
-      let table = e.Registry.run !profile in
+    (fun (e, table, seconds) ->
       Printf.printf "=== %s — %s ===\n%s  [table generated in %.1fs]\n\n" e.Registry.id
-        e.Registry.paper_ref table
-        (Unix.gettimeofday () -. t0);
+        e.Registry.paper_ref table seconds;
       (match !out_dir with
       | Some dir ->
           let oc = open_out (Filename.concat dir (e.Registry.id ^ ".txt")) in
@@ -204,7 +269,7 @@ let () =
             (fun () -> output_string oc table)
       | None -> ());
       flush stdout)
-    selected;
+    (Registry.run_selected !profile selected);
   if !bechamel then run_bechamel (List.map (fun e -> e.Registry.id) selected);
   (match (telemetry_oc, !out_dir) with
   | Some oc, Some dir ->
@@ -218,4 +283,7 @@ let () =
           output_char mc '\n')
   | _ -> ());
   Obs.Trace.close ();
+  (match !parallel_bench with
+  | Some file -> run_parallel_bench !profile selected (Pool.jobs ()) file
+  | None -> ());
   Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t_start)

@@ -50,6 +50,21 @@ let metrics_term =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let jobs_term =
+  let doc =
+    "Domains for the parallel fan-out points (random starts, table replicates). \
+     Default: all cores; 1 restores the sequential path. Results are bit-identical \
+     at every value — see PARALLELISM.md."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let apply_jobs = function
+  | Some n when n >= 1 -> Gbisect.Pool.set_jobs n
+  | Some n ->
+      Printf.eprintf "gbisect: --jobs expects a positive integer, got %d\n" n;
+      exit 2
+  | None -> ()
+
 let with_obs ~trace ~metrics f =
   Gbisect.Obs.Trace.set_clock Unix.gettimeofday;
   (match trace with
@@ -165,7 +180,8 @@ let solve_cmd =
     let doc = "Also write a DOT rendering with the cut highlighted." in
     Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
   in
-  let run file algorithm starts seed dot trace metrics =
+  let run file algorithm starts seed dot trace metrics jobs =
+    apply_jobs jobs;
     let graph = read_graph file in
     let rng = Gbisect.Rng.create ~seed in
     let result =
@@ -193,7 +209,9 @@ let solve_cmd =
   in
   let info = Cmd.info "solve" ~doc:"Bisect a graph file." in
   Cmd.v info
-    Term.(const run $ file $ algorithm $ starts $ seed_term $ dot $ trace_term $ metrics_term)
+    Term.(
+      const run $ file $ algorithm $ starts $ seed_term $ dot $ trace_term $ metrics_term
+      $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* kway                                                                *)
@@ -294,7 +312,8 @@ let table_cmd =
     let doc = "Profile: smoke, quick or paper (full scale)." in
     Arg.(value & opt string "quick" & info [ "profile" ] ~docv:"NAME" ~doc)
   in
-  let run id list profile trace metrics =
+  let run id list profile trace metrics jobs =
+    apply_jobs jobs;
     if list then
       List.iter
         (fun e ->
@@ -315,7 +334,8 @@ let table_cmd =
                     (with_obs ~trace ~metrics (fun () -> e.Gbisect.Registry.run profile))))
   in
   let info = Cmd.info "table" ~doc:"Regenerate one of the paper's tables." in
-  Cmd.v info Term.(const run $ id $ list $ profile $ trace_term $ metrics_term)
+  Cmd.v info
+    Term.(const run $ id $ list $ profile $ trace_term $ metrics_term $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* demo                                                                *)

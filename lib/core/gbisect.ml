@@ -40,6 +40,7 @@ module Hcoarsen = Gb_hyper.Hcoarsen
 module Placement = Gb_hyper.Placement
 module Hsa = Gb_hyper.Hsa
 module Obs = Gb_obs
+module Pool = Gb_par.Pool
 module Profile = Gb_experiments.Profile
 module Runner = Gb_experiments.Runner
 module Registry = Gb_experiments.Registry
@@ -68,10 +69,15 @@ let run_once algorithm rng g =
 
 let solve ?(algorithm = `Ckl) ?(starts = 2) rng g =
   if starts < 1 then invalid_arg "Gbisect.solve: starts must be >= 1";
-  let t0 = Sys.time () in
-  let best = ref (run_once algorithm rng g) in
-  for _ = 2 to starts do
-    let candidate = run_once algorithm rng g in
-    if Bisection.cut candidate < Bisection.cut !best then best := candidate
-  done;
-  { bisection = !best; algorithm; seconds = Sys.time () -. t0 }
+  let t0 = Obs.Clock.now () in
+  (* Starts run on the ambient pool (--jobs) with per-start substreams,
+     so the result is bit-identical at any job count; ties between
+     equal cuts go to the lowest start index, like the sequential loop. *)
+  let base = Rng.derive_seed rng in
+  let best =
+    Pool.best_by (Pool.current ())
+      ~compare:(fun a b -> compare (Bisection.cut a) (Bisection.cut b))
+      (fun i -> run_once algorithm (Rng.substream ~base i) g)
+      starts
+  in
+  { bisection = best; algorithm; seconds = Obs.Clock.now () -. t0 }

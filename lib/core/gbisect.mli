@@ -77,8 +77,16 @@ module Hsa = Gb_hyper.Hsa
 module Obs = Gb_obs
 (** Structured tracing, counters and run telemetry — see
     {!Gb_obs.Trace}, {!Gb_obs.Metrics}, {!Gb_obs.Telemetry}. All
-    instrumentation is off by default and never perturbs RNG streams
-    or results. *)
+    instrumentation is off by default, is domain-safe, and never
+    perturbs RNG streams or results. *)
+
+(** {1 Multicore execution} *)
+
+module Pool = Gb_par.Pool
+(** Deterministic fan-out over OCaml 5 domains. Executables call
+    {!Gb_par.Pool.set_jobs} from their [--jobs] flag; {!solve} and the
+    experiment harness pick the value up ambiently. Results are
+    bit-identical at every job count — see PARALLELISM.md. *)
 
 (** {1 Experiment harness (paper §VI)} *)
 
@@ -102,7 +110,10 @@ val algorithm_name : algorithm -> string
 type result = {
   bisection : Gb_partition.Bisection.t;
   algorithm : algorithm;
-  seconds : float;  (** Wall-clock time of the solve call. *)
+  seconds : float;
+      (** Time of the solve call on {!Gb_obs.Clock} (CPU seconds by
+          default; wall-clock once the executable installs
+          [Unix.gettimeofday]). *)
 }
 
 val solve :
@@ -115,4 +126,11 @@ val solve :
     the paper's protocol) runs of [algorithm] (default [`Ckl] — the
     paper's recommendation for graphs of average degree <= 4, and a
     sound default everywhere: compaction never hurt quality in its
-    experiments). *)
+    experiments).
+
+    The starts run on the ambient {!Pool} ([--jobs]): each start [i]
+    gets the stream [Rng.substream ~base i] where [base] is drawn from
+    [rng] with {!Gb_prng.Rng.derive_seed}, and equal cuts resolve to
+    the lowest start index — so the chosen bisection is bit-identical
+    at every job count.
+    @raise Invalid_argument if [starts < 1]. *)

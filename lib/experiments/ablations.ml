@@ -19,24 +19,33 @@ let corpus profile =
     [ (3, 4); (3, 16); (3, 64); (4, 16) ]
 
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Gb_obs.Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Gb_obs.Clock.now () -. t0)
 
+(* The compaction/multilevel trial loop is a parallel fan-out point:
+   each replicate owns a seed derived from the master seed and its
+   (variant, index) labels, so the trials are order-independent and run
+   on the ambient pool with bit-identical averages at any job count. *)
 let averaged profile name run_variant make =
   let replicates = max 2 profile.Profile.replicates in
-  let cuts = ref [] and secs = ref [] in
-  for j = 0 to replicates - 1 do
-    let seed =
-      Rng.seed_of_string (Printf.sprintf "%d/ablate/%s/%d" profile.Profile.master_seed name j)
-    in
-    let rng = Rng.create ~seed in
-    let g = make rng in
-    let (bisection : Bisection.t), t = timed (fun () -> run_variant rng g) in
-    cuts := float_of_int (Bisection.cut bisection) :: !cuts;
-    secs := t :: !secs
-  done;
-  (Table.mean !cuts, Table.mean !secs)
+  let trials =
+    Gb_par.Pool.init
+      (Gb_par.Pool.current ())
+      replicates
+      (fun j ->
+        let seed =
+          Rng.seed_of_string
+            (Printf.sprintf "%d/ablate/%s/%d" profile.Profile.master_seed name j)
+        in
+        let rng = Rng.create ~seed in
+        let g = make rng in
+        let (bisection : Bisection.t), t = timed (fun () -> run_variant rng g) in
+        (float_of_int (Bisection.cut bisection), t))
+  in
+  let cuts = Array.to_list (Array.map fst trials) in
+  let secs = Array.to_list (Array.map snd trials) in
+  (Table.mean cuts, Table.mean secs)
 
 let matching_policy profile =
   let kl = Compaction.kl_refiner ~config:profile.Profile.kl_config () in

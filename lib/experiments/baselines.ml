@@ -21,9 +21,9 @@ let corpus profile =
 let kl_refine g side = fst (Gb_kl.Kl.refine g side)
 
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Gb_obs.Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Gb_obs.Clock.now () -. t0)
 
 let spectral_table profile =
   let rows =

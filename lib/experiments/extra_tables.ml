@@ -7,9 +7,9 @@ module Random_netlist = Gb_hyper.Random_netlist
 module Geometric = Gb_models.Geometric
 
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Gb_obs.Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Gb_obs.Clock.now () -. t0)
 
 (* ---------------------------------------------------------------- *)
 

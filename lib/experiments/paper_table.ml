@@ -13,23 +13,49 @@ let row_seed profile ~seed_tag row j =
   Rng.seed_of_string
     (Printf.sprintf "%d/%s/%s/%d" profile.Profile.master_seed seed_tag row.label j)
 
+(* Fan-out point 2: the replicate trial loop. Every (row, replicate)
+   cell already owns an independent seed derived from the master seed
+   and its labels — execution order was never load-bearing — so the
+   whole row x replicate product is flattened into one task array and
+   run on the ambient pool. Results are regrouped by row in input
+   order, so the averaged quads (and the rendered table) are identical
+   at any job count. *)
 let collect profile ~seed_tag rows =
-  List.map
-    (fun row ->
-      let replicates = max 1 (profile.Profile.replicates * row.replicate_factor) in
-      let quads =
-        List.init replicates (fun j ->
-            let seed = row_seed profile ~seed_tag row j in
+  let tasks =
+    List.concat_map
+      (fun row ->
+        let replicates = max 1 (profile.Profile.replicates * row.replicate_factor) in
+        List.init replicates (fun j -> (row, j)))
+      rows
+  in
+  let context = Gb_obs.Telemetry.capture () in
+  let quads =
+    Gb_par.Pool.map_list
+      (Gb_par.Pool.current ())
+      (fun (row, j) ->
+        let seed = row_seed profile ~seed_tag row j in
+        Gb_obs.Telemetry.with_snapshot context (fun () ->
             Gb_obs.Telemetry.with_context
               ~graph:(Printf.sprintf "%s/%s/rep%d" seed_tag row.label j)
               ~seed
               (fun () ->
                 let rng = Rng.create ~seed in
                 let g = row.make rng in
-                Runner.paper_quad profile rng g))
-      in
-      { row; quad = Runner.averaged_quads quads })
-    rows
+                Runner.paper_quad profile rng g)))
+      tasks
+  in
+  (* Regroup the flat result list back into one averaged quad per row;
+     tasks were emitted row-major so each row owns a contiguous run. *)
+  let rec regroup rows quads =
+    match rows with
+    | [] -> []
+    | row :: rest ->
+        let replicates = max 1 (profile.Profile.replicates * row.replicate_factor) in
+        let mine = List.filteri (fun i _ -> i < replicates) quads in
+        let others = List.filteri (fun i _ -> i >= replicates) quads in
+        { row; quad = Runner.averaged_quads mine } :: regroup rest others
+  in
+  regroup rows quads
 
 let header =
   [

@@ -29,7 +29,11 @@ type row_data = {
 val collect : Profile.t -> seed_tag:string -> row list -> row_data list
 (** Run the measurements only (no formatting). The RNG for row [i],
     replicate [j] is seeded from [(master_seed, seed_tag, label, j)] so
-    tables are reproducible independently of execution order. *)
+    tables are reproducible independently of execution order — which is
+    also what lets the whole row x replicate product run as one flat
+    task array on the ambient {!Gb_par.Pool} ([--jobs]) with results
+    regrouped in row order: the collected data is bit-identical at any
+    job count. *)
 
 val format : title:string -> ?notes:string list -> row_data list -> string
 

@@ -199,3 +199,23 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 let ids () = List.map (fun e -> e.id) all
+
+(* Fan-out point 3: whole experiments run concurrently. Each experiment
+   already returns its rendered table as a string — output is therefore
+   naturally buffered per experiment — and the result list keeps the
+   input (presentation) order, so the harness prints exactly what a
+   sequential run prints. Experiments are seeded from the master seed
+   and their own labels, never from shared stream state, so the tables
+   are bit-identical at any job count. When a single experiment is
+   selected the pool runs it inline in the caller, leaving the domains
+   free for that experiment's inner fan-outs (replicates, starts). *)
+let run_selected profile experiments =
+  let context = Gb_obs.Telemetry.capture () in
+  Gb_par.Pool.map_list
+    (Gb_par.Pool.current ())
+    (fun e ->
+      Gb_obs.Telemetry.with_snapshot context (fun () ->
+          let t0 = Gb_obs.Clock.now () in
+          let table = e.run profile in
+          (e, table, Gb_obs.Clock.now () -. t0)))
+    experiments

@@ -18,3 +18,12 @@ val all : experiment list
 
 val find : string -> experiment option
 val ids : unit -> string list
+
+val run_selected : Profile.t -> experiment list -> (experiment * string * float) list
+(** Run a selection of experiments on the ambient {!Gb_par.Pool}
+    ([--jobs]), each experiment's output buffered as its rendered table
+    string, and return [(experiment, table, seconds)] in the {e input}
+    (presentation) order regardless of completion order. Rendered
+    tables are bit-identical to a sequential run (timing columns aside
+    — see PARALLELISM.md); a single-experiment selection runs inline so
+    its inner fan-out points can use the domains instead. *)

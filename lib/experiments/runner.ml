@@ -2,6 +2,7 @@ module Rng = Gb_prng.Rng
 module Csr = Gb_graph.Csr
 module Bisection = Gb_partition.Bisection
 module Obs = Gb_obs
+module Pool = Gb_par.Pool
 
 type algorithm = Sa | Csa | Kl | Ckl | Fm | Multilevel_kl
 
@@ -100,14 +101,14 @@ let run_once_record ?(start = 0) ?collect profile rng algorithm g =
   let collect =
     match collect with Some c -> c | None -> Obs.Telemetry.writer_installed ()
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   let span = Obs.Trace.start () in
   let (bisection, detail), trajectory =
     if collect then
       Obs.Telemetry.with_collector (fun () -> run_algorithm profile rng algorithm g)
     else (run_algorithm profile rng algorithm g, [])
   in
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = Obs.Clock.now () -. t0 in
   let cut = Bisection.cut bisection in
   let balanced = Bisection.is_balanced bisection in
   Obs.Trace.finish span "runner.trial"
@@ -140,24 +141,34 @@ let run_once_record ?(start = 0) ?collect profile rng algorithm g =
 
 let run_once profile rng algorithm g = fst (run_once_record profile rng algorithm g)
 
+(* Fan-out point 1: the paper's independent random starts. Start [i]
+   draws from a stream derived from a base seed and [i] alone, and the
+   caller's rng advances by exactly the two [derive_seed] draws, so the
+   cuts — and the caller's stream afterwards — are identical whether
+   the starts run sequentially or on any number of domains. The ambient
+   telemetry context is captured here and replayed inside each task
+   because pool workers are fresh domains with empty context. *)
 let best_of_starts profile rng algorithm g =
   let starts = max 1 profile.Profile.starts in
-  let rec loop i acc =
-    if i = starts then acc
-    else begin
-      let r, _ = run_once_record ~start:i profile rng algorithm g in
-      let acc =
-        {
-          cut = min acc.cut r.cut;
-          seconds = acc.seconds +. r.seconds;
-          balanced = acc.balanced && r.balanced;
-        }
-      in
-      loop (i + 1) acc
-    end
+  let base = Rng.derive_seed rng in
+  let context = Obs.Telemetry.capture () in
+  let results =
+    Pool.init (Pool.current ()) starts (fun i ->
+        Obs.Telemetry.with_snapshot context (fun () ->
+            let r, _ =
+              run_once_record ~start:i profile (Rng.substream ~base i) algorithm g
+            in
+            r))
   in
-  let first, _ = run_once_record ~start:0 profile rng algorithm g in
-  loop 1 first
+  Array.fold_left
+    (fun acc r ->
+      {
+        cut = min acc.cut r.cut;
+        seconds = acc.seconds +. r.seconds;
+        balanced = acc.balanced && r.balanced;
+      })
+    results.(0)
+    (Array.sub results 1 (starts - 1))
 
 type quad = { bsa : run; bcsa : run; bkl : run; bckl : run }
 

@@ -27,7 +27,8 @@ type run = {
 }
 
 val run_once : Profile.t -> Gb_prng.Rng.t -> algorithm -> Gb_graph.Csr.t -> run
-(** One run from one fresh random start, wall-clock timed. The run is
+(** One run from one fresh random start, timed on {!Gb_obs.Clock}
+    (wall-clock once the executable installs [Unix.gettimeofday]). The run is
     wrapped in a trace span and, when a telemetry writer is installed
     ({!Gb_obs.Telemetry.set_writer}), emits one telemetry record. *)
 
@@ -50,7 +51,15 @@ val run_once_record :
 
 val best_of_starts : Profile.t -> Gb_prng.Rng.t -> algorithm -> Gb_graph.Csr.t -> run
 (** Best cut over [profile.starts] runs; seconds are summed. Each
-    trial is traced and telemetered individually with its start index. *)
+    trial is traced and telemetered individually with its start index.
+
+    This is a parallel fan-out point: the starts run on the ambient
+    {!Gb_par.Pool} ([--jobs]). Start [i]'s RNG is
+    [Rng.substream ~base i] where [base] is drawn from [rng] by
+    {!Gb_prng.Rng.derive_seed} (advancing [rng] by exactly two draws),
+    so cuts, RNG streams, and the caller's stream afterwards are
+    bit-identical at every job count — only the wall-clock differs.
+    See PARALLELISM.md. *)
 
 type quad = { bsa : run; bcsa : run; bkl : run; bckl : run }
 

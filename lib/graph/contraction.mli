@@ -37,5 +37,8 @@ val lift_to_coarse : t -> f:(int array -> 'a) -> 'a array
     group of fine members. *)
 
 val n_coarse : t -> int
+(** Number of vertices of the contracted graph — [n] minus the number
+    of matched pairs. *)
+
 val is_identity : t -> bool
 (** True when the matching was empty (coarse = fine up to relabeling). *)

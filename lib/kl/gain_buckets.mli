@@ -28,10 +28,14 @@ val update : t -> int -> int -> unit
 (** [update t v gain]: change the key of a present vertex. *)
 
 val mem : t -> int -> bool
+(** [mem t v] is true when vertex [v] is currently present. O(1). *)
+
 val gain_of : t -> int -> int
 (** @raise Invalid_argument if absent. *)
 
 val cardinal : t -> int
+(** Number of vertices currently present. O(1). *)
+
 val max_gain : t -> int option
 (** Highest gain currently present, [None] when empty. *)
 
@@ -43,3 +47,6 @@ val iter_desc : t -> f:(int -> int -> [ `Continue | `Stop ]) -> unit
     answers [`Stop]. [f] must not modify the structure. *)
 
 val clear : t -> unit
+(** Remove every vertex, keeping the capacity and range. O(capacity);
+    the structure is ready for the next KL/FM pass without
+    reallocation. *)

@@ -1,0 +1,3 @@
+let source = ref Sys.time
+let set f = source := f
+let now () = !source ()

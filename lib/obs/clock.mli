@@ -1,0 +1,22 @@
+(** The pluggable clock behind every timestamp the library reports.
+
+    Trace spans ({!Trace}), per-run [seconds] in telemetry records, and
+    the experiment tables' time columns all read this one clock. The
+    default is [Sys.time] (CPU seconds) so the library itself needs no
+    [unix] dependency; executables that link [unix] install
+    [Unix.gettimeofday] at startup for wall-clock numbers, and the
+    determinism test suite installs a constant clock so that two runs
+    of the same experiment render byte-identical tables (timing cells
+    are the only non-deterministic content of a table — see
+    PARALLELISM.md).
+
+    Configure once at startup, before any domains are spawned: the
+    source is read racily (a single immutable closure pointer), which
+    is safe exactly because it is not mutated mid-run. *)
+
+val set : (unit -> float) -> unit
+(** Install a clock returning seconds (monotonic or epoch — only
+    differences are reported). *)
+
+val now : unit -> float
+(** Read the current clock. *)

@@ -1,14 +1,14 @@
-type counter = { c_name : string; mutable c_value : int }
+type counter = { c_name : string; c_value : int Atomic.t }
 
 let n_buckets = 34 (* bucket 0: v < 1; buckets 1..32: [2^(i-1), 2^i); 33: rest *)
 
 type histogram = {
   h_name : string;
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
-  h_buckets : int array;
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+  h_min : float Atomic.t;
+  h_max : float Atomic.t;
+  h_buckets : int Atomic.t array;
 }
 
 type histogram_snapshot = {
@@ -19,41 +19,57 @@ type histogram_snapshot = {
   buckets : (float * int) list;
 }
 
-let switch = ref false
-let set_enabled b = switch := b
-let enabled () = !switch
+let switch = Atomic.make false
+let set_enabled b = Atomic.set switch b
+let enabled () = Atomic.get switch
+
+(* Lock-free float accumulators: retry the compare-and-set until our
+   read was not overtaken. Atomic.t boxes the float, and we CAS against
+   the exact box we read, so the loop is ABA-safe. *)
+let rec update_float a f =
+  let seen = Atomic.get a in
+  let updated = f seen in
+  if updated != seen && not (Atomic.compare_and_set a seen updated) then update_float a f
+
+let add_float a v = update_float a (fun x -> x +. v)
+let min_float a v = update_float a (fun x -> if v < x then v else x)
+let max_float a v = update_float a (fun x -> if v > x then v else x)
+
+(* The registries are plain Hashtbls guarded by one mutex: interning
+   happens once per name (at module initialisation of the instrumented
+   library) and snapshots are rare, so the lock is never contended on a
+   hot path — bumping an interned instrument is lock-free. *)
+let registry_mutex = Mutex.create ()
 
 let counter_registry : (string, counter) Hashtbl.t = Hashtbl.create 32
 let histogram_registry : (string, histogram) Hashtbl.t = Hashtbl.create 32
 
-let counter name =
-  match Hashtbl.find_opt counter_registry name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; c_value = 0 } in
-      Hashtbl.add counter_registry name c;
-      c
+let intern registry name make =
+  Mutex.protect registry_mutex (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some v -> v
+      | None ->
+          let v = make () in
+          Hashtbl.add registry name v;
+          v)
 
-let incr c = if !switch then c.c_value <- c.c_value + 1
-let add c n = if !switch then c.c_value <- c.c_value + n
-let value c = c.c_value
+let counter name =
+  intern counter_registry name (fun () -> { c_name = name; c_value = Atomic.make 0 })
+
+let incr c = if Atomic.get switch then ignore (Atomic.fetch_and_add c.c_value 1)
+let add c n = if Atomic.get switch then ignore (Atomic.fetch_and_add c.c_value n)
+let value c = Atomic.get c.c_value
 
 let histogram name =
-  match Hashtbl.find_opt histogram_registry name with
-  | Some h -> h
-  | None ->
-      let h =
-        {
-          h_name = name;
-          h_count = 0;
-          h_sum = 0.;
-          h_min = infinity;
-          h_max = neg_infinity;
-          h_buckets = Array.make n_buckets 0;
-        }
-      in
-      Hashtbl.add histogram_registry name h;
-      h
+  intern histogram_registry name (fun () ->
+      {
+        h_name = name;
+        h_count = Atomic.make 0;
+        h_sum = Atomic.make 0.;
+        h_min = Atomic.make infinity;
+        h_max = Atomic.make neg_infinity;
+        h_buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+      })
 
 (* Index of the log2 bucket of [v]: 0 for v < 1, else 1 + floor(log2 v),
    clamped to the array. *)
@@ -70,52 +86,54 @@ let bucket_upper_bound i =
   else Float.ldexp 1. i
 
 let observe h v =
-  if !switch then begin
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v;
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v;
-    let i = bucket_index v in
-    h.h_buckets.(i) <- h.h_buckets.(i) + 1
+  if Atomic.get switch then begin
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    add_float h.h_sum v;
+    min_float h.h_min v;
+    max_float h.h_max v;
+    ignore (Atomic.fetch_and_add h.h_buckets.(bucket_index v) 1)
   end
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counter_registry;
-  Hashtbl.iter
-    (fun _ h ->
-      h.h_count <- 0;
-      h.h_sum <- 0.;
-      h.h_min <- infinity;
-      h.h_max <- neg_infinity;
-      Array.fill h.h_buckets 0 n_buckets 0)
-    histogram_registry
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counter_registry;
+      Hashtbl.iter
+        (fun _ h ->
+          Atomic.set h.h_count 0;
+          Atomic.set h.h_sum 0.;
+          Atomic.set h.h_min infinity;
+          Atomic.set h.h_max neg_infinity;
+          Array.iter (fun b -> Atomic.set b 0) h.h_buckets)
+        histogram_registry)
 
 let sorted_names tbl =
   Hashtbl.fold (fun name _ acc -> name :: acc) tbl [] |> List.sort compare
 
 let counters () =
-  List.map
-    (fun name -> (name, (Hashtbl.find counter_registry name).c_value))
-    (sorted_names counter_registry)
+  Mutex.protect registry_mutex (fun () ->
+      List.map
+        (fun name -> (name, Atomic.get (Hashtbl.find counter_registry name).c_value))
+        (sorted_names counter_registry))
 
 let snapshot_of h =
   let buckets = ref [] in
   for i = n_buckets - 1 downto 0 do
-    if h.h_buckets.(i) > 0 then
-      buckets := (bucket_upper_bound i, h.h_buckets.(i)) :: !buckets
+    let c = Atomic.get h.h_buckets.(i) in
+    if c > 0 then buckets := (bucket_upper_bound i, c) :: !buckets
   done;
   {
-    count = h.h_count;
-    sum = h.h_sum;
-    min_value = h.h_min;
-    max_value = h.h_max;
+    count = Atomic.get h.h_count;
+    sum = Atomic.get h.h_sum;
+    min_value = Atomic.get h.h_min;
+    max_value = Atomic.get h.h_max;
     buckets = !buckets;
   }
 
 let histograms () =
-  List.map
-    (fun name -> (name, snapshot_of (Hashtbl.find histogram_registry name)))
-    (sorted_names histogram_registry)
+  Mutex.protect registry_mutex (fun () ->
+      List.map
+        (fun name -> (name, snapshot_of (Hashtbl.find histogram_registry name)))
+        (sorted_names histogram_registry))
 
 let snapshot_json () =
   let counter_fields = List.map (fun (name, v) -> (name, Json.Int v)) (counters ()) in

@@ -11,7 +11,17 @@
     Histograms are log2-bucketed (bucket [i] counts observations in
     [[2^(i-1), 2^i)]), which is the right shape for "swaps per pass" or
     "matching size" style distributions whose interesting structure is
-    multiplicative. *)
+    multiplicative.
+
+    {b Domain safety.} Every instrument is backed by [Atomic] cells:
+    {!incr}, {!add} and {!observe} are lock-free fetch-and-add (or CAS
+    loops for the float accumulators) and may be called concurrently
+    from any number of domains with no lost updates — counts are exact,
+    which the two-domain hammer test asserts. Interning and snapshots
+    take a mutex that hot paths never touch. A histogram snapshot taken
+    {e while} other domains observe is per-field atomic but not a
+    consistent cross-field cut (its [count] may briefly lag its [sum]);
+    the harness only snapshots after fan-outs have joined. *)
 
 type counter
 type histogram

@@ -31,53 +31,85 @@ let to_json r =
     ]
 
 (* ------------------------------------------------------------------ *)
-(* Collector                                                           *)
+(* Collector
 
-let collector : (string * float) list ref option ref = ref None
+   The trajectory buffer is domain-local: each worker domain of a
+   parallel fan-out accumulates its run's samples privately (a fresh
+   domain starts with no collector), so concurrent runs can never
+   interleave their trajectories. The buffer is turned into a record
+   field — and the record emitted whole — when the run ends.           *)
+
+let collector_key : (string * float) list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let sample label v =
-  match !collector with None -> () | Some points -> points := (label, v) :: !points
+  match Domain.DLS.get collector_key with
+  | None -> ()
+  | Some points -> points := (label, v) :: !points
 
-let collecting () = !collector <> None
+let collecting () = Domain.DLS.get collector_key <> None
 
 let with_collector f =
-  let previous = !collector in
+  let previous = Domain.DLS.get collector_key in
   let points = ref [] in
-  collector := Some points;
+  Domain.DLS.set collector_key (Some points);
   let result =
-    Fun.protect ~finally:(fun () -> collector := previous) f
+    Fun.protect ~finally:(fun () -> Domain.DLS.set collector_key previous) f
   in
   (result, List.rev !points)
 
 (* ------------------------------------------------------------------ *)
-(* Context                                                             *)
+(* Context
+
+   Also domain-local. A fan-out point that moves work onto pool domains
+   captures the ambient context first and re-establishes it inside each
+   task (the pool cannot do this itself: it knows nothing about obs).  *)
 
 type context = { profile : string option; graph : string option; seed : int option }
+type snapshot = context
 
-let context = ref { profile = None; graph = None; seed = None }
+let context_key : context Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { profile = None; graph = None; seed = None })
 
 let with_context ?profile ?graph ?seed f =
-  let previous = !context in
+  let previous = Domain.DLS.get context_key in
   let pick fresh inherited = match fresh with Some _ -> fresh | None -> inherited in
-  context :=
+  Domain.DLS.set context_key
     {
       profile = pick profile previous.profile;
       graph = pick graph previous.graph;
       seed = pick seed previous.seed;
     };
-  Fun.protect ~finally:(fun () -> context := previous) f
+  Fun.protect ~finally:(fun () -> Domain.DLS.set context_key previous) f
 
-let context_profile () = !context.profile
-let context_graph () = !context.graph
-let context_seed () = !context.seed
+let capture () = Domain.DLS.get context_key
+
+let with_snapshot snapshot f =
+  let previous = Domain.DLS.get context_key in
+  Domain.DLS.set context_key snapshot;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set context_key previous) f
+
+let context_profile () = (Domain.DLS.get context_key).profile
+let context_graph () = (Domain.DLS.get context_key).graph
+let context_seed () = (Domain.DLS.get context_key).seed
 
 (* ------------------------------------------------------------------ *)
 (* Emission                                                            *)
 
 let writer : (record -> unit) option ref = ref None
-let set_writer w = writer := w
+let emit_mutex = Mutex.create ()
+
+let set_writer w = Mutex.protect emit_mutex (fun () -> writer := w)
 let writer_installed () = !writer <> None
-let emit r = match !writer with None -> () | Some w -> w r
+
+let emit r =
+  (* Serialised so that records from concurrent domains reach the
+     writer one at a time and each telemetry.jsonl line stays whole. *)
+  match !writer with
+  | None -> ()
+  | Some _ ->
+      Mutex.protect emit_mutex (fun () ->
+          match !writer with None -> () | Some w -> w r)
 
 let to_channel oc r =
   output_string oc (Json.to_string (to_json r));

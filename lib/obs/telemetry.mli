@@ -19,7 +19,19 @@
 
     {b Context.} Graph labels and seeds are not threaded through every
     algorithm signature; the harness scopes them with {!with_context}
-    and the runner reads them back when it builds the record. *)
+    and the runner reads them back when it builds the record.
+
+    {b Domain safety.} The collector and the context are {e domain-local}
+    (one per domain, via [Domain.DLS]): concurrent runs on pool workers
+    each buffer their own trajectory and cannot interleave samples.
+    Because a freshly spawned domain starts with an empty context, a
+    fan-out point must {!capture} the ambient context before moving
+    work to the pool and re-establish it per task with {!with_snapshot}
+    (the runner does this). {!emit} hands records to the single global
+    writer under a mutex, so every [telemetry.jsonl] line is whole even
+    when many domains finish runs simultaneously; record {e order} in
+    the stream follows completion order, which is why consumers key on
+    the [(graph, algorithm, start)] labels rather than on position. *)
 
 type record = {
   algorithm : string;  (** "KL", "SA", "CKL", ... *)
@@ -59,6 +71,18 @@ val with_context :
 val context_profile : unit -> string option
 val context_graph : unit -> string option
 val context_seed : unit -> int option
+
+type snapshot
+(** An immutable copy of one domain's ambient context. *)
+
+val capture : unit -> snapshot
+(** The calling domain's current context, for replay on pool workers. *)
+
+val with_snapshot : snapshot -> (unit -> 'a) -> 'a
+(** Run a thunk with the captured context as the ambient one (restoring
+    the previous context afterwards). Unlike {!with_context} this
+    {e replaces} rather than refines: the snapshot is exactly what
+    {!capture} saw. *)
 
 (* {2 Emission} *)
 

@@ -8,29 +8,33 @@ let to_file path =
   let oc = open_out path in
   Writer { write = output_string oc; close_writer = (fun () -> close_out oc) }
 
+(* The sink is installed once at startup but written from every domain:
+   [sink_mutex] serialises writes (and close) so each event line lands
+   whole in the output. *)
 let current = ref Noop
+let sink_mutex = Mutex.create ()
 
 let close () =
-  (match !current with Noop -> () | Writer w -> w.close_writer ());
-  current := Noop
+  Mutex.protect sink_mutex (fun () ->
+      (match !current with Noop -> () | Writer w -> w.close_writer ());
+      current := Noop)
 
 let set sink =
   close ();
-  current := sink
+  Mutex.protect sink_mutex (fun () -> current := sink)
 
 let () = at_exit close
 let enabled () = !current <> Noop
 
-let clock = ref Sys.time
-let set_clock f = clock := f
-let now_us () = !clock () *. 1e6
+let set_clock = Clock.set
+let now_us () = Clock.now () *. 1e6
 
-(* One trace_event object per line. Single-threaded process: pid/tid
-   are constants, which Perfetto renders as a single track. *)
+(* One trace_event object per line. pid is constant; tid is the domain
+   id, so a parallel run renders as one Perfetto track per domain. *)
 let emit ~ph ?dur ?(args = []) ~ts name =
   match !current with
   | Noop -> ()
-  | Writer w ->
+  | Writer _ ->
       let fields =
         [
           ("name", Json.String name);
@@ -40,7 +44,7 @@ let emit ~ph ?dur ?(args = []) ~ts name =
              printer even at epoch scale *)
           ("ts", Json.Float (Float.round ts));
           ("pid", Json.Int 1);
-          ("tid", Json.Int 1);
+          ("tid", Json.Int ((Domain.self () :> int) + 1));
         ]
       in
       let fields =
@@ -49,7 +53,11 @@ let emit ~ph ?dur ?(args = []) ~ts name =
         | None -> fields
       in
       let fields = match args with [] -> fields | _ -> fields @ [ ("args", Json.Obj args) ] in
-      w.write (Json.to_string (Json.Obj fields) ^ "\n")
+      let line = Json.to_string (Json.Obj fields) ^ "\n" in
+      (* Serialise the write itself, re-checking the sink under the
+         lock in case another domain closed it meanwhile. *)
+      Mutex.protect sink_mutex (fun () ->
+          match !current with Noop -> () | Writer w -> w.write line)
 
 let start () = if enabled () then now_us () else Float.nan
 

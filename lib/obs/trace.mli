@@ -12,10 +12,15 @@
     instrumentation costs one global read on the hot path and never
     perturbs results or RNG streams.
 
-    Timestamps come from a pluggable clock so the library itself needs
-    no [unix] dependency: the default is [Sys.time] (CPU seconds);
-    executables that link [unix] install [Unix.gettimeofday] via
-    {!set_clock} for wall-clock traces. *)
+    Timestamps come from the shared pluggable clock ({!Clock}) so the
+    library itself needs no [unix] dependency: the default is
+    [Sys.time] (CPU seconds); executables that link [unix] install
+    [Unix.gettimeofday] via {!set_clock} for wall-clock traces.
+
+    {b Domain safety.} Spans may be opened and finished on any domain:
+    each event line is written under a sink mutex so lines never
+    interleave, and the event's [tid] is the emitting domain's id, so
+    a parallel run loads in Perfetto as one track per domain. *)
 
 type sink
 type span
@@ -40,7 +45,9 @@ val close : unit -> unit
 val enabled : unit -> bool
 
 val set_clock : (unit -> float) -> unit
-(** Provide a clock in seconds (e.g. [Unix.gettimeofday]). *)
+(** Provide a clock in seconds (e.g. [Unix.gettimeofday]). This is
+    {!Clock.set}: the same clock also times telemetry records and the
+    experiment tables. *)
 
 val start : unit -> span
 (** Begin a span. Free (a null value) when tracing is disabled. *)

@@ -1,0 +1,83 @@
+type t = { n_domains : int }
+
+let create ~domains = { n_domains = max 1 domains }
+let domains t = t.n_domains
+
+let ambient_jobs : int option ref = ref None
+let set_jobs n = ambient_jobs := Some (max 1 n)
+
+let jobs () =
+  match !ambient_jobs with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+let current () = create ~domains:(jobs ())
+
+(* Worker status is domain-local: a freshly spawned worker marks itself,
+   so any pool call issued from inside a task sees the flag and runs
+   sequentially instead of spawning another generation of domains. *)
+let worker_key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get worker_key
+
+let as_worker f =
+  let previous = Domain.DLS.get worker_key in
+  Domain.DLS.set worker_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set worker_key previous) f
+
+(* The chunked scheduler. Indices [0, n) are claimed in contiguous
+   chunks from one atomic cursor; each claimed index i gets f i stored
+   in slot i, so the schedule cannot leak into the result. *)
+let run_indexed pool n (f : int -> 'a) : 'a array =
+  if n = 0 then [||]
+  else begin
+    let d = min pool.n_domains n in
+    if d <= 1 || in_worker () then Array.init n f
+    else begin
+      let results : 'a option array = Array.make n None in
+      let cursor = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let chunk = max 1 (n / (d * 8)) in
+      let body () =
+        let rec claim () =
+          if Atomic.get failure = None then begin
+            let start = Atomic.fetch_and_add cursor chunk in
+            if start < n then begin
+              let stop = min n (start + chunk) in
+              (try
+                 for i = start to stop - 1 do
+                   results.(i) <- Some (f i)
+                 done
+               with e ->
+                 (* Keep the first failure (ties are fine: any is "first"
+                    under some schedule); abandon the rest of the range. *)
+                 ignore (Atomic.compare_and_set failure None (Some e)));
+              claim ()
+            end
+          end
+        in
+        claim ()
+      in
+      let spawned = Array.init (d - 1) (fun _ -> Domain.spawn (fun () -> as_worker body)) in
+      as_worker body;
+      Array.iter Domain.join spawned;
+      (match Atomic.get failure with Some e -> raise e | None -> ());
+      Array.map
+        (function Some v -> v | None -> assert false (* failure re-raised above *))
+        results
+    end
+  end
+
+let init pool n f = run_indexed pool n f
+let map pool f xs = run_indexed pool (Array.length xs) (fun i -> f xs.(i))
+
+let map_list pool f xs =
+  Array.to_list (map pool f (Array.of_list xs))
+
+let best_by pool ~compare f n =
+  if n < 1 then invalid_arg "Pool.best_by: n must be >= 1";
+  let results = run_indexed pool n f in
+  let best = ref results.(0) in
+  for i = 1 to n - 1 do
+    if compare results.(i) !best < 0 then best := results.(i)
+  done;
+  !best

@@ -56,10 +56,22 @@ let create ~seed =
 let copy t = { state = Array.copy t.state; pos = t.pos }
 let next = raw_next
 
-let split t =
-  (* Derive a 60-bit seed from the parent stream. *)
-  let hi = raw_next t and lo = raw_next t in
-  create ~seed:((hi lsl bits) lor lo)
+let derive_seed t =
+  (* Two draws packed into a 60-bit seed; advances the parent by
+     exactly two outputs no matter what is done with the result. *)
+  let hi = raw_next t in
+  let lo = raw_next t in
+  (hi lsl bits) lor lo
+
+let split t = create ~seed:(derive_seed t)
+
+let mix_seed base salt =
+  (* One SplitMix scramble of [base] perturbed by [salt] times the
+     golden-ratio increment: for a fixed base, distinct salts give
+     decorrelated seeds (this is exactly how SplitMix64 derives its
+     output sequence from a counter). *)
+  let _, z = splitmix_next (base + (salt * 0x1E3779B97F4A7C15)) in
+  z land max_int
 
 let self_test () =
   let g1 = create ~seed:42 and g2 = create ~seed:42 in

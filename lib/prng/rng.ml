@@ -5,6 +5,10 @@ let of_lfg core = { core }
 let copy t = { core = Lfg.copy t.core }
 let split t = { core = Lfg.split t.core }
 
+let derive_seed t = Lfg.derive_seed t.core
+let substream_seed ~base i = Lfg.mix_seed base i
+let substream ~base i = create ~seed:(Lfg.mix_seed base i)
+
 let seed_of_string s =
   (* FNV-1a, folded to a positive OCaml int. *)
   let h = ref 0x0bf29ce484222325 in

@@ -20,6 +20,26 @@ val copy : t -> t
 val split : t -> t
 (** Child stream, statistically independent of the parent's future. *)
 
+(** {1 Deterministic fan-out (seed splitting)}
+
+    A parallel best-of-k or replicate loop must give task [i] the same
+    stream whether it runs first, last, or on another domain. The
+    scheme: the orchestrator calls {!derive_seed} once (advancing its
+    own stream by exactly two draws, independent of [k] and of the job
+    count), then hands task [i] the stream [substream ~base i]. See
+    PARALLELISM.md. *)
+
+val derive_seed : t -> int
+(** Draw a 60-bit base seed for a family of {!substream}s; advances
+    this stream by exactly two outputs. *)
+
+val substream_seed : base:int -> int -> int
+(** [substream_seed ~base i] is the seed of the [i]-th child stream of
+    [base] (a SplitMix scramble — see {!Lfg.mix_seed}). *)
+
+val substream : base:int -> int -> t
+(** [substream ~base i = create ~seed:(substream_seed ~base i)]. *)
+
 val seed_of_string : string -> int
 (** Stable (FNV-1a) hash of a string, for naming experiment streams. *)
 

@@ -99,6 +99,33 @@ let metrics_tests =
             | Some s ->
                 check_int "count" 3 s.Metrics.count;
                 Alcotest.(check (float 1e-9)) "sum" 7.0 s.Metrics.sum));
+    case "counters and histograms are exact under two-domain contention" (fun () ->
+        (* Regression: counters were plain refs, so concurrent fan-outs
+           lost increments. Two domains hammering the same counter and
+           histogram must land every single update. *)
+        pristine (fun () ->
+            Metrics.set_enabled true;
+            Metrics.reset ();
+            let c = Metrics.counter "test.hammer" in
+            let h = Metrics.histogram "test.hammer_h" in
+            let n = 50_000 in
+            let work () =
+              for _ = 1 to n do
+                Metrics.incr c;
+                Metrics.observe h 1.0
+              done
+            in
+            let other = Domain.spawn work in
+            work ();
+            Domain.join other;
+            check_int "exact count" (2 * n) (Metrics.value c);
+            match List.assoc_opt "test.hammer_h" (Metrics.histograms ()) with
+            | None -> Alcotest.fail "histogram missing"
+            | Some s ->
+                check_int "histogram count" (2 * n) s.Metrics.count;
+                Alcotest.(check (float 1e-6)) "histogram sum"
+                  (float_of_int (2 * n))
+                  s.Metrics.sum));
     case "snapshot_json parses back" (fun () ->
         pristine (fun () ->
             Metrics.set_enabled true;
