@@ -18,17 +18,27 @@ module Profile = Gbisect.Profile
 module Rng = Gbisect.Rng
 module Obs = Gbisect.Obs
 module Pool = Gbisect.Pool
+module Store = Gbisect.Store
 
 let usage () =
   print_endline
     "usage: main.exe [--profile smoke|quick|paper] [--jobs N] [--list] [--no-bechamel] \
-     [--out DIR] [--trace FILE] [--parallel-bench FILE] [ids...]\n\n\
+     [--out DIR] [--trace FILE] [--store DIR] [--resume] [--no-cache] \
+     [--parallel-bench FILE] [ids...]\n\n\
      --jobs N     domains for the parallel fan-out points (default: all cores;\n\
     \             1 = sequential). Tables are bit-identical at any N, see\n\
     \             PARALLELISM.md\n\
      --out DIR    also write per-table text files, DIR/telemetry.jsonl (one JSON\n\
     \             record per algorithm run) and DIR/metrics.json (counters)\n\
      --trace FILE write Chrome trace_event JSON lines (load in Perfetto)\n\
+     --store DIR  crash-safe result store: every (row, replicate) cell is\n\
+    \             persisted as it completes and reused on re-runs, so an\n\
+    \             interrupted run resumed against the same store reproduces\n\
+    \             the uninterrupted output byte for byte (see DESIGN.md)\n\
+     --resume     require that --store DIR already exists (guards against a\n\
+    \             mistyped path silently starting a cold run)\n\
+     --no-cache   with --store: recompute everything (ignore stored cells)\n\
+    \             while still persisting fresh results\n\
      --parallel-bench FILE  time each selected table at --jobs 1 vs --jobs N and\n\
     \             write the sequential/parallel wall-clock and speedup as JSON\n\
     \             (the BENCH_parallel.json probe)"
@@ -173,6 +183,9 @@ let () =
   let out_dir = ref None in
   let trace_file = ref None in
   let parallel_bench = ref None in
+  let store_dir = ref None in
+  let resume = ref false in
+  let no_cache = ref false in
   let ids = ref [] in
   let rec parse = function
     | [] -> ()
@@ -196,6 +209,15 @@ let () =
     | "--parallel-bench" :: file :: rest ->
         parallel_bench := Some file;
         parse rest
+    | "--store" :: dir :: rest ->
+        store_dir := Some dir;
+        parse rest
+    | "--resume" :: rest ->
+        resume := true;
+        parse rest
+    | "--no-cache" :: rest ->
+        no_cache := true;
+        parse rest
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with
         | Some n when n >= 1 ->
@@ -217,6 +239,18 @@ let () =
         parse rest
   in
   parse args;
+  (match !store_dir with
+  | None when !resume ->
+      prerr_endline "--resume requires --store DIR";
+      exit 2
+  | None when !no_cache ->
+      prerr_endline "--no-cache requires --store DIR";
+      exit 2
+  | Some dir when !resume && not (Store.exists dir) ->
+      Printf.eprintf "--resume: no result store at %S (a first run with --store creates it)\n"
+        dir;
+      exit 2
+  | _ -> ());
   let selected =
     match List.rev !ids with
     | [] -> Registry.all
@@ -246,6 +280,15 @@ let () =
   (match !trace_file with
   | Some file -> Obs.Trace.set (Obs.Trace.to_file file)
   | None -> ());
+  let store =
+    match !store_dir with
+    | None -> None
+    | Some dir ->
+        Obs.Metrics.set_enabled true;
+        let s = Store.open_store ~readable:(not !no_cache) dir in
+        Store.set_current (Some s);
+        Some s
+  in
   let telemetry_oc =
     match !out_dir with
     | Some dir ->
@@ -255,35 +298,66 @@ let () =
         Some oc
     | None -> None
   in
-  (* Experiments fan out over the pool; output is buffered per
-     experiment and printed here in presentation order. *)
-  List.iter
-    (fun (e, table, seconds) ->
-      Printf.printf "=== %s — %s ===\n%s  [table generated in %.1fs]\n\n" e.Registry.id
-        e.Registry.paper_ref table seconds;
+  (* The telemetry writer is detached before the Bechamel probes so
+     their repeats don't pollute telemetry.jsonl; the Fun.protect
+     [finally] makes the same teardown run on the exception path, so a
+     failing experiment still leaves flushed, closed sinks and a synced
+     store behind. *)
+  let telemetry_closed = ref false in
+  let close_telemetry () =
+    match telemetry_oc with
+    | Some oc when not !telemetry_closed ->
+        telemetry_closed := true;
+        Obs.Telemetry.set_writer None;
+        close_out oc
+    | _ -> ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      close_telemetry ();
+      Obs.Trace.close ();
+      match store with
+      | Some s ->
+          Store.set_current None;
+          Store.close s
+      | None -> ())
+    (fun () ->
+      (* Experiments fan out over the pool; output is buffered per
+         experiment and printed here in presentation order. *)
+      List.iter
+        (fun (e, table, seconds) ->
+          Printf.printf "=== %s — %s ===\n%s  [table generated in %.1fs]\n\n"
+            e.Registry.id e.Registry.paper_ref table seconds;
+          (match !out_dir with
+          | Some dir ->
+              let oc = open_out (Filename.concat dir (e.Registry.id ^ ".txt")) in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () -> output_string oc table)
+          | None -> ());
+          flush stdout)
+        (Registry.run_selected !profile selected);
+      (match store with
+      | Some s ->
+          let stats = Store.stats s in
+          Printf.printf "result store %s: %d hits, %d misses, %d written%s\n\n"
+            (Store.dir s) stats.Store.hits stats.Store.misses stats.Store.writes
+            (if stats.Store.dropped > 0 then
+               Printf.sprintf " (%d corrupt records dropped)" stats.Store.dropped
+             else "")
+      | None -> ());
+      close_telemetry ();
       (match !out_dir with
       | Some dir ->
-          let oc = open_out (Filename.concat dir (e.Registry.id ^ ".txt")) in
+          let mc = open_out (Filename.concat dir "metrics.json") in
           Fun.protect
-            ~finally:(fun () -> close_out oc)
-            (fun () -> output_string oc table)
+            ~finally:(fun () -> close_out mc)
+            (fun () ->
+              output_string mc (Obs.Json.to_string (Obs.Metrics.snapshot_json ()));
+              output_char mc '\n')
       | None -> ());
-      flush stdout)
-    (Registry.run_selected !profile selected);
-  if !bechamel then run_bechamel (List.map (fun e -> e.Registry.id) selected);
-  (match (telemetry_oc, !out_dir) with
-  | Some oc, Some dir ->
-      Obs.Telemetry.set_writer None;
-      close_out oc;
-      let mc = open_out (Filename.concat dir "metrics.json") in
-      Fun.protect
-        ~finally:(fun () -> close_out mc)
-        (fun () ->
-          output_string mc (Obs.Json.to_string (Obs.Metrics.snapshot_json ()));
-          output_char mc '\n')
-  | _ -> ());
-  Obs.Trace.close ();
-  (match !parallel_bench with
-  | Some file -> run_parallel_bench !profile selected (Pool.jobs ()) file
-  | None -> ());
-  Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t_start)
+      if !bechamel then run_bechamel (List.map (fun e -> e.Registry.id) selected);
+      (match !parallel_bench with
+      | Some file -> run_parallel_bench !profile selected (Pool.jobs ()) file
+      | None -> ());
+      Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t_start))

@@ -65,6 +65,23 @@ let apply_jobs = function
       exit 2
   | None -> ()
 
+(* Uniform exit codes (see README): anything that dies at runtime —
+   unreadable/malformed input, a failed generator — prints one
+   "gbisect: ..." line on stderr and exits 1; usage errors (bad flags,
+   unknown ids) exit 2 via Cmdliner or the explicit checks below. *)
+let runtime_guard f =
+  try f () with
+  | Failure msg | Sys_error msg ->
+      Printf.eprintf "gbisect: %s\n" msg;
+      exit 1
+  | Invalid_argument msg ->
+      Printf.eprintf "gbisect: %s\n" msg;
+      exit 1
+
+let usage_error msg =
+  Printf.eprintf "gbisect: %s\n" msg;
+  exit 2
+
 let with_obs ~trace ~metrics f =
   Gbisect.Obs.Trace.set_clock Unix.gettimeofday;
   (match trace with
@@ -105,6 +122,7 @@ let gen_cmd =
     Arg.(value & opt int 16 & info [ "b" ] ~docv:"INT" ~doc)
   in
   let run model n degree b seed output =
+    runtime_guard @@ fun () ->
     let rng = Gbisect.Rng.create ~seed in
     let even k = if k land 1 = 1 then k + 1 else k in
     let graph =
@@ -181,6 +199,7 @@ let solve_cmd =
     Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
   in
   let run file algorithm starts seed dot trace metrics jobs =
+    runtime_guard @@ fun () ->
     apply_jobs jobs;
     let graph = read_graph file in
     let rng = Gbisect.Rng.create ~seed in
@@ -230,6 +249,7 @@ let kway_cmd =
     Arg.(value & opt string "ckl" & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
   in
   let run file k algorithm seed =
+    runtime_guard @@ fun () ->
     let graph = read_graph file in
     let solver =
       match String.lowercase_ascii algorithm with
@@ -263,6 +283,7 @@ let netlist_cmd =
     Arg.(value & pos 0 (some file) None & info [] ~docv:"NETLIST" ~doc)
   in
   let run file seed =
+    runtime_guard @@ fun () ->
     let rng = Gbisect.Rng.create ~seed in
     let netlist =
       match file with
@@ -312,7 +333,29 @@ let table_cmd =
     let doc = "Profile: smoke, quick or paper (full scale)." in
     Arg.(value & opt string "quick" & info [ "profile" ] ~docv:"NAME" ~doc)
   in
-  let run id list profile trace metrics jobs =
+  let store =
+    let doc =
+      "Crash-safe result store: persist every (row, replicate) cell under $(docv) as \
+       it completes and reuse stored cells on re-runs, so an interrupted run resumed \
+       against the same store reproduces the uninterrupted table byte for byte."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let resume =
+    let doc =
+      "Require that --store $(b,DIR) already exists (guards against a mistyped path \
+       silently starting a cold run)."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let no_cache =
+    let doc =
+      "With --store: recompute everything (ignore stored cells) while still \
+       persisting fresh results."
+    in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let run id list profile trace metrics jobs store resume no_cache =
     apply_jobs jobs;
     if list then
       List.iter
@@ -320,22 +363,57 @@ let table_cmd =
           Printf.printf "%-18s %s — %s\n" e.Gbisect.Registry.id e.Gbisect.Registry.paper_ref
             e.Gbisect.Registry.description)
         Gbisect.Registry.all
-    else
+    else begin
+      (match store with
+      | None when resume -> usage_error "--resume requires --store DIR"
+      | None when no_cache -> usage_error "--no-cache requires --store DIR"
+      | Some dir when resume && not (Gbisect.Store.exists dir) ->
+          usage_error
+            (Printf.sprintf "--resume: no result store at %S (a first run with --store \
+                             creates it)" dir)
+      | _ -> ());
       match id with
-      | None -> prerr_endline "table: missing experiment id (try --list)"
+      | None -> usage_error "table: missing experiment id (try --list)"
       | Some id -> (
           match Gbisect.Profile.by_name profile with
-          | None -> Printf.eprintf "unknown profile %S\n" profile
+          | None -> usage_error (Printf.sprintf "unknown profile %S" profile)
           | Some profile -> (
               match Gbisect.Registry.find id with
-              | None -> Printf.eprintf "unknown experiment %S (try --list)\n" id
+              | None -> usage_error (Printf.sprintf "unknown experiment %S (try --list)" id)
               | Some e ->
-                  print_string
-                    (with_obs ~trace ~metrics (fun () -> e.Gbisect.Registry.run profile))))
+                  runtime_guard @@ fun () ->
+                  let s =
+                    Option.map
+                      (fun dir ->
+                        Gbisect.Obs.Metrics.set_enabled true;
+                        let s = Gbisect.Store.open_store ~readable:(not no_cache) dir in
+                        Gbisect.Store.set_current (Some s);
+                        s)
+                      store
+                  in
+                  Fun.protect
+                    ~finally:(fun () ->
+                      match s with
+                      | Some s ->
+                          Gbisect.Store.set_current None;
+                          Gbisect.Store.close s;
+                          let st = Gbisect.Store.stats s in
+                          Printf.eprintf
+                            "gbisect: result store %s: %d hits, %d misses, %d written\n"
+                            (Gbisect.Store.dir s) st.Gbisect.Store.hits
+                            st.Gbisect.Store.misses st.Gbisect.Store.writes
+                      | None -> ())
+                    (fun () ->
+                      print_string
+                        (with_obs ~trace ~metrics (fun () ->
+                             e.Gbisect.Registry.run profile)))))
+    end
   in
   let info = Cmd.info "table" ~doc:"Regenerate one of the paper's tables." in
   Cmd.v info
-    Term.(const run $ id $ list $ profile $ trace_term $ metrics_term $ jobs_term)
+    Term.(
+      const run $ id $ list $ profile $ trace_term $ metrics_term $ jobs_term $ store
+      $ resume $ no_cache)
 
 (* ------------------------------------------------------------------ *)
 (* demo                                                                *)
@@ -365,4 +443,12 @@ let main_cmd =
   in
   Cmd.group info [ gen_cmd; solve_cmd; kway_cmd; netlist_cmd; table_cmd; demo_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+(* Cmdliner's stock exit codes are 124 (cli error) and 125 (internal
+   error); fold them onto the documented contract: 2 = usage, 1 =
+   runtime failure. *)
+let () =
+  exit
+    (match Cmd.eval main_cmd with
+    | 124 -> 2
+    | 125 -> 1
+    | code -> code)

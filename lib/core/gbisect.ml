@@ -41,6 +41,7 @@ module Placement = Gb_hyper.Placement
 module Hsa = Gb_hyper.Hsa
 module Obs = Gb_obs
 module Pool = Gb_par.Pool
+module Store = Gb_store.Store
 module Profile = Gb_experiments.Profile
 module Runner = Gb_experiments.Runner
 module Registry = Gb_experiments.Registry

@@ -88,6 +88,15 @@ module Pool = Gb_par.Pool
     experiment harness pick the value up ambiently. Results are
     bit-identical at every job count — see PARALLELISM.md. *)
 
+(** {1 Result store} *)
+
+module Store = Gb_store.Store
+(** Crash-safe, content-addressed store of experiment cells. The bench
+    harness and CLI open one from [--store DIR] and install it with
+    {!Gb_store.Store.set_current}; the experiment drivers then reuse
+    stored cells instead of recomputing them, so interrupted runs
+    resume byte-identically — see DESIGN.md. *)
+
 (** {1 Experiment harness (paper §VI)} *)
 
 module Profile = Gb_experiments.Profile

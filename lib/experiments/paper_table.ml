@@ -1,4 +1,6 @@
 module Rng = Gb_prng.Rng
+module Store = Gb_store.Store
+module Telemetry = Gb_obs.Telemetry
 
 type row = {
   label : string;
@@ -12,6 +14,69 @@ type row_data = { row : row; quad : Runner.quad }
 let row_seed profile ~seed_tag row j =
   Rng.seed_of_string
     (Printf.sprintf "%d/%s/%s/%d" profile.Profile.master_seed seed_tag row.label j)
+
+(* ------------------------------------------------------------------ *)
+(* Result-store integration. The cell is one (row, replicate) quad —
+   the unit the table averages — keyed by its full coordinates. The
+   cached value carries the quad and the telemetry records the cell
+   emitted, so a cache hit replays the records and an interrupted run
+   resumed with --store produces byte-identical tables AND telemetry to
+   an uninterrupted one. Cells computed with and without a telemetry
+   writer carry different trajectories, hence the "telemetry" key
+   field: toggling --out never replays trajectory-less records. *)
+
+let cell_key profile ~seed_tag row j ~seed ~telemetry =
+  Store.key
+    [
+      ("kind", "paper-quad");
+      ("profile", Profile.fingerprint profile);
+      ("table", seed_tag);
+      ("row", row.label);
+      ("replicate", string_of_int j);
+      ("seed", string_of_int seed);
+      ("telemetry", if telemetry then "on" else "off");
+    ]
+
+let cell_to_json quad records =
+  Gb_obs.Json.Obj
+    [
+      ("quad", Runner.quad_to_json quad);
+      ("records", Gb_obs.Json.List (List.map Telemetry.to_json records));
+    ]
+
+let cell_of_json j =
+  match
+    ( Option.bind (Gb_obs.Json.member "quad" j) Runner.quad_of_json,
+      Gb_obs.Json.member "records" j )
+  with
+  | Some quad, Some (Gb_obs.Json.List records) ->
+      let records = List.map Telemetry.of_json records in
+      if List.exists Option.is_none records then None
+      else Some (quad, List.map Option.get records)
+  | _ -> None
+
+(* Compute one cell through the ambient store: replay on a hit, record
+   on a miss. [compute] runs under a tap that captures the records the
+   runner emits (the tap travels to pool workers inside the telemetry
+   snapshot, so inner start fan-outs are captured too). *)
+let through_store key compute =
+  match Store.current () with
+  | None -> compute ()
+  | Some store -> (
+      match Option.bind (Store.find store key) cell_of_json with
+      | Some (quad, records) ->
+          List.iter Telemetry.emit records;
+          quad
+      | None ->
+          let mutex = Mutex.create () in
+          let records = ref [] in
+          let quad =
+            Telemetry.with_tap
+              (fun r -> Mutex.protect mutex (fun () -> records := r :: !records))
+              compute
+          in
+          Store.add store key (cell_to_json quad (List.rev !records));
+          quad)
 
 (* Fan-out point 2: the replicate trial loop. Every (row, replicate)
    cell already owns an independent seed derived from the master seed
@@ -29,6 +94,7 @@ let collect profile ~seed_tag rows =
       rows
   in
   let context = Gb_obs.Telemetry.capture () in
+  let telemetry = Gb_obs.Telemetry.writer_installed () in
   let quads =
     Gb_par.Pool.map_list
       (Gb_par.Pool.current ())
@@ -39,9 +105,11 @@ let collect profile ~seed_tag rows =
               ~graph:(Printf.sprintf "%s/%s/rep%d" seed_tag row.label j)
               ~seed
               (fun () ->
-                let rng = Rng.create ~seed in
-                let g = row.make rng in
-                Runner.paper_quad profile rng g)))
+                through_store (cell_key profile ~seed_tag row j ~seed ~telemetry)
+                  (fun () ->
+                    let rng = Rng.create ~seed in
+                    let g = row.make rng in
+                    Runner.paper_quad profile rng g))))
       tasks
   in
   (* Regroup the flat result list back into one averaged quad per row;

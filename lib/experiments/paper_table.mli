@@ -33,7 +33,14 @@ val collect : Profile.t -> seed_tag:string -> row list -> row_data list
     also what lets the whole row x replicate product run as one flat
     task array on the ambient {!Gb_par.Pool} ([--jobs]) with results
     regrouped in row order: the collected data is bit-identical at any
-    job count. *)
+    job count.
+
+    When an ambient {!Gb_store.Store} is installed ([--store DIR]),
+    each (row, replicate) cell is looked up before being computed and
+    persisted after: a cache hit returns the stored quad (timings
+    included) and replays the cell's telemetry records, so an
+    interrupted run resumed against the same store renders the table an
+    uninterrupted run would have rendered, byte for byte. *)
 
 val format : title:string -> ?notes:string list -> row_data list -> string
 

@@ -44,6 +44,28 @@ let scaled p n =
   let s = max 16 s in
   if s land 1 = 1 then s + 1 else s
 
+(* Everything in a profile that can change a cell's value, rendered
+   canonically. Part of every result-store key: two profiles with equal
+   fingerprints may share cached cells, two with different ones never
+   collide. [scale] is a function, so it is fingerprinted by probing
+   the paper's instance sizes (every table derives its size from one of
+   these probes via [scaled]). *)
+let fingerprint p =
+  let sched = p.sa_schedule in
+  let initial =
+    match sched.Gb_anneal.Schedule.initial_temperature with
+    | Gb_anneal.Schedule.Fixed_temperature t -> Printf.sprintf "fixed:%h" t
+    | Gb_anneal.Schedule.Calibrate f -> Printf.sprintf "calibrate:%h" f
+  in
+  Printf.sprintf
+    "%s|seed=%d|starts=%d|scale=%d,%d,%d,%d|sa=%s,%h,%d,%h,%h,%d,%h,%d|kl=%d,%b"
+    p.name p.master_seed p.starts (scaled p 5000) (scaled p 2000) (scaled p 2048)
+    (scaled p 500) initial sched.Gb_anneal.Schedule.cooling
+    sched.Gb_anneal.Schedule.size_factor sched.Gb_anneal.Schedule.cutoff
+    sched.Gb_anneal.Schedule.min_acceptance sched.Gb_anneal.Schedule.frozen_after
+    sched.Gb_anneal.Schedule.min_temperature sched.Gb_anneal.Schedule.max_temperatures
+    p.kl_config.Gb_kl.Kl.max_passes p.kl_config.Gb_kl.Kl.until_no_improvement
+
 let by_name = function
   | "smoke" -> Some smoke
   | "quick" -> Some quick

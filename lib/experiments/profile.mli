@@ -37,5 +37,11 @@ val paper : t
 val scaled : t -> int -> int
 (** [scaled p n] = even-rounded [p.scale n], at least 16. *)
 
+val fingerprint : t -> string
+(** Canonical rendering of every profile field that can change an
+    experiment cell's value (name, master seed, starts, probed scale,
+    the full SA schedule, the KL config). Result-store keys embed it so
+    cached cells are never reused across incompatible configurations. *)
+
 val by_name : string -> t option
 (** ["smoke" | "quick" | "paper"/"full"]. *)

@@ -217,5 +217,11 @@ let run_selected profile experiments =
       Gb_obs.Telemetry.with_snapshot context (fun () ->
           let t0 = Gb_obs.Clock.now () in
           let table = e.run profile in
+          (* Individual cells are already durable (atomic renames); a
+             per-experiment sync just keeps the advisory index fresh so
+             a later kill between experiments leaves a tidy store. *)
+          (match Gb_store.Store.current () with
+          | Some store -> Gb_store.Store.sync store
+          | None -> ());
           (e, table, Gb_obs.Clock.now () -. t0)))
     experiments

@@ -26,4 +26,10 @@ val run_selected : Profile.t -> experiment list -> (experiment * string * float)
     (presentation) order regardless of completion order. Rendered
     tables are bit-identical to a sequential run (timing columns aside
     — see PARALLELISM.md); a single-experiment selection runs inline so
-    its inner fan-out points can use the domains instead. *)
+    its inner fan-out points can use the domains instead.
+
+    When an ambient {!Gb_store.Store} is installed ([--store DIR]),
+    every (row, replicate) cell an experiment computes is persisted as
+    it completes and reused on re-runs, so an interrupted selection
+    resumed against the same store reproduces the uninterrupted output;
+    the store's advisory index is refreshed after each experiment. *)

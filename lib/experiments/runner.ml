@@ -170,7 +170,39 @@ let best_of_starts profile rng algorithm g =
     results.(0)
     (Array.sub results 1 (starts - 1))
 
+(* JSON codecs for the result store: a cached cell must reproduce the
+   whole [run] (the timings included — that is what makes a resumed
+   table byte-identical to an uninterrupted one). *)
+let run_to_json r =
+  let open Obs.Json in
+  Obj
+    [
+      ("cut", Int r.cut); ("seconds", Float r.seconds); ("balanced", Bool r.balanced);
+    ]
+
+let run_of_json j =
+  let open Obs.Json in
+  match (member "cut" j, Option.bind (member "seconds" j) to_float, member "balanced" j)
+  with
+  | Some (Int cut), Some seconds, Some (Bool balanced) -> Some { cut; seconds; balanced }
+  | _ -> None
+
 type quad = { bsa : run; bcsa : run; bkl : run; bckl : run }
+
+let quad_to_json q =
+  Obs.Json.Obj
+    [
+      ("bsa", run_to_json q.bsa);
+      ("bcsa", run_to_json q.bcsa);
+      ("bkl", run_to_json q.bkl);
+      ("bckl", run_to_json q.bckl);
+    ]
+
+let quad_of_json j =
+  let field k = Option.bind (Obs.Json.member k j) run_of_json in
+  match (field "bsa", field "bcsa", field "bkl", field "bckl") with
+  | Some bsa, Some bcsa, Some bkl, Some bckl -> Some { bsa; bcsa; bkl; bckl }
+  | _ -> None
 
 let paper_quad profile rng g =
   let bsa = best_of_starts profile rng Sa g in

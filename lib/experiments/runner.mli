@@ -61,7 +61,17 @@ val best_of_starts : Profile.t -> Gb_prng.Rng.t -> algorithm -> Gb_graph.Csr.t -
     bit-identical at every job count — only the wall-clock differs.
     See PARALLELISM.md. *)
 
+val run_to_json : run -> Gb_obs.Json.t
+val run_of_json : Gb_obs.Json.t -> run option
+(** Result-store codecs. A cached cell round-trips the whole [run] —
+    including [seconds] — so a resumed table reproduces even its timing
+    columns byte for byte. [run_of_json] is [None] on shape mismatch
+    (the store entry is then recomputed). *)
+
 type quad = { bsa : run; bcsa : run; bkl : run; bckl : run }
+
+val quad_to_json : quad -> Gb_obs.Json.t
+val quad_of_json : Gb_obs.Json.t -> quad option
 
 val paper_quad : Profile.t -> Gb_prng.Rng.t -> Gb_graph.Csr.t -> quad
 (** {!best_of_starts} for the paper's four algorithms on one graph. *)

@@ -71,6 +71,8 @@ let mean = function
   | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
 
 let stddev = function
+  (* Bessel's n-1 denominator is 0 for a singleton; report a spread of
+     0 rather than letting nan leak into rendered tables and JSON. *)
   | [] | [ _ ] -> 0.
   | xs ->
       let m = mean xs in

@@ -40,4 +40,8 @@ val improvement_pct : base:float -> improved:float -> float
     up"). Negative values mean the "improved" quantity was worse. *)
 
 val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
 val stddev : float list -> float
+(** Sample standard deviation (Bessel-corrected). Fewer than two
+    samples have no spread to estimate: the result is 0, never nan. *)

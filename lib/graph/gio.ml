@@ -12,8 +12,18 @@ let split_ws line =
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun s -> s <> "")
 
+(* Files written on Windows arrive with "\r\n" endings; splitting on
+   '\n' alone leaves a '\r' glued to the last token of every line, which
+   then fails int_of_string. Strip exactly one trailing '\r' per line —
+   a bare '\r' elsewhere is still an error, as it should be. *)
+let split_lines s =
+  String.split_on_char '\n' s
+  |> List.map (fun line ->
+         let n = String.length line in
+         if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line)
+
 let of_edge_list_string s =
-  let lines = String.split_on_char '\n' s in
+  let lines = split_lines s in
   let fail lineno msg = failwith (Printf.sprintf "edge list, line %d: %s" lineno msg) in
   let parse_int lineno tok =
     match int_of_string_opt tok with
@@ -98,13 +108,15 @@ let to_metis_string g =
 let of_metis_string s =
   (* Empty lines are meaningful after the header (an isolated vertex has
      an empty adjacency line), so only comment lines are dropped here;
-     leading blanks and trailing blanks are trimmed around the payload. *)
+     leading blanks and trailing blanks are trimmed around the payload.
+     METIS comments start with '%'; '#' is accepted too since several
+     tools emit it. *)
   let lines =
-    String.split_on_char '\n' s
+    split_lines s
     |> List.mapi (fun i l -> (i + 1, l))
     |> List.filter (fun (_, l) ->
            let l = String.trim l in
-           l = "" || l.[0] <> '%')
+           l = "" || (l.[0] <> '%' && l.[0] <> '#'))
   in
   let rec drop_leading_blanks = function
     | (_, l) :: rest when String.trim l = "" -> drop_leading_blanks rest

@@ -8,7 +8,10 @@
     - {b METIS} — the format of Metis/KaHIP graph files (1-based,
       header "[n m \[fmt\]]", one adjacency line per vertex), read-only
       subset covering unweighted and edge-weighted graphs, so published
-      test graphs can be fed to the CLI.
+      test graphs can be fed to the CLI. Comment lines start with ['%']
+      (or ['#'], which several tools emit).
+
+    Both readers accept Windows ("\r\n") line endings.
 
     Plus a {b DOT} writer for visual inspection of small graphs
     (Figure 3 of the paper is regenerated this way). *)

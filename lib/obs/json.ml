@@ -26,24 +26,37 @@ let escape_to buf s =
     s;
   Buffer.add_char buf '"'
 
-let float_to buf f =
-  if not (Float.is_finite f) then Buffer.add_string buf "null"
+let float_to ~strict buf f =
+  if not (Float.is_finite f) then
+    if strict then invalid_arg "Json.to_string: non-finite float"
+    else Buffer.add_string buf "null"
   else if Float.is_integer f && Float.abs f < 9.007199254740992e15 (* 2^53 *) then
     Buffer.add_string buf (Printf.sprintf "%.0f" f)
-  else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  else
+    (* Shortest rendering that parses back to the same double: the
+       common cases stay readable ("7.05") and the codec is lossless,
+       which the result store needs to replay stored floats bit for
+       bit. *)
+    let rec shortest = function
+      | [] -> Printf.sprintf "%.17g" f
+      | digits :: rest ->
+          let s = Printf.sprintf "%.*g" digits f in
+          if float_of_string s = f then s else shortest rest
+    in
+    Buffer.add_string buf (shortest [ 12; 15; 16 ])
 
-let rec write buf = function
+let rec write ~strict buf = function
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f -> float_to buf f
+  | Float f -> float_to ~strict buf f
   | String s -> escape_to buf s
   | List items ->
       Buffer.add_char buf '[';
       List.iteri
         (fun i item ->
           if i > 0 then Buffer.add_char buf ',';
-          write buf item)
+          write ~strict buf item)
         items;
       Buffer.add_char buf ']'
   | Obj fields ->
@@ -53,13 +66,13 @@ let rec write buf = function
           if i > 0 then Buffer.add_char buf ',';
           escape_to buf k;
           Buffer.add_char buf ':';
-          write buf v)
+          write ~strict buf v)
         fields;
       Buffer.add_char buf '}'
 
-let to_string json =
+let to_string ?(strict = false) json =
   let buf = Buffer.create 256 in
-  write buf json;
+  write ~strict buf json;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)

@@ -8,7 +8,9 @@
     tools can round-trip what the sinks wrote.
 
     Non-finite floats have no JSON spelling; {!to_string} renders them
-    as [null], which is what trace viewers expect. *)
+    as [null], which is what trace viewers expect. Writers that must
+    never launder [nan]/[inf] into durable data (the result store)
+    pass [~strict:true] to get a rejection instead. *)
 
 type t =
   | Null
@@ -19,8 +21,10 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
-val to_string : t -> string
-(** Compact single-line rendering (no trailing newline). *)
+val to_string : ?strict:bool -> t -> string
+(** Compact single-line rendering (no trailing newline). With
+    [~strict:true] (default [false]) a non-finite [Float] raises
+    [Invalid_argument] instead of rendering as [null]. *)
 
 val of_string : string -> t
 (** Parse a single JSON value.

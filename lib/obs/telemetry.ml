@@ -30,6 +30,60 @@ let to_json r =
       ("metrics", Json.Obj r.metrics);
     ]
 
+(* Inverse of [to_json], for replaying store-cached records. Shape
+   errors yield [None] (the cache entry is then treated as a miss). *)
+let of_json j =
+  let str k = match Json.member k j with Some (Json.String s) -> Some s | _ -> None in
+  let int k = match Json.member k j with Some (Json.Int i) -> Some i | _ -> None in
+  let flt k = Option.bind (Json.member k j) Json.to_float in
+  let point = function
+    | Json.Obj _ as p -> (
+        match (Json.member "k" p, Option.bind (Json.member "v" p) Json.to_float) with
+        | Some (Json.String k), Some v -> Some (k, v)
+        | _ -> None)
+    | _ -> None
+  in
+  match
+    ( str "algorithm",
+      str "graph",
+      str "profile",
+      int "start",
+      int "cut",
+      flt "seconds",
+      Json.member "balanced" j,
+      Json.member "trajectory" j,
+      Json.member "metrics" j )
+  with
+  | ( Some algorithm,
+      Some graph,
+      Some profile,
+      Some start,
+      Some cut,
+      Some seconds,
+      Some (Json.Bool balanced),
+      Some (Json.List points),
+      Some (Json.Obj metrics) ) ->
+      let seed =
+        match Json.member "seed" j with Some (Json.Int s) -> Some s | _ -> None
+      in
+      let trajectory = List.map point points in
+      if List.exists Option.is_none trajectory then None
+      else
+        Some
+          {
+            algorithm;
+            graph;
+            profile;
+            seed;
+            start;
+            cut;
+            seconds;
+            balanced;
+            trajectory = List.map Option.get trajectory;
+            metrics;
+          }
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Collector
 
@@ -65,21 +119,37 @@ let with_collector f =
    captures the ambient context first and re-establishes it inside each
    task (the pool cannot do this itself: it knows nothing about obs).  *)
 
-type context = { profile : string option; graph : string option; seed : int option }
+type context = {
+  profile : string option;
+  graph : string option;
+  seed : int option;
+  (* Cell-scoped record capture (the result store's miss path). Part of
+     the context so that capture/with_snapshot carry it onto pool
+     workers along with the labels; the tap closure itself must be
+     domain-safe (taps append under their own mutex). *)
+  tap : (record -> unit) option;
+}
+
 type snapshot = context
 
 let context_key : context Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { profile = None; graph = None; seed = None })
+  Domain.DLS.new_key (fun () -> { profile = None; graph = None; seed = None; tap = None })
 
 let with_context ?profile ?graph ?seed f =
   let previous = Domain.DLS.get context_key in
   let pick fresh inherited = match fresh with Some _ -> fresh | None -> inherited in
   Domain.DLS.set context_key
     {
+      previous with
       profile = pick profile previous.profile;
       graph = pick graph previous.graph;
       seed = pick seed previous.seed;
     };
+  Fun.protect ~finally:(fun () -> Domain.DLS.set context_key previous) f
+
+let with_tap tap f =
+  let previous = Domain.DLS.get context_key in
+  Domain.DLS.set context_key { previous with tap = Some tap };
   Fun.protect ~finally:(fun () -> Domain.DLS.set context_key previous) f
 
 let capture () = Domain.DLS.get context_key
@@ -103,6 +173,9 @@ let set_writer w = Mutex.protect emit_mutex (fun () -> writer := w)
 let writer_installed () = !writer <> None
 
 let emit r =
+  (* The ambient tap (the result store capturing a cell) sees every
+     record whether or not a writer is installed. *)
+  (match (Domain.DLS.get context_key).tap with None -> () | Some tap -> tap r);
   (* Serialised so that records from concurrent domains reach the
      writer one at a time and each telemetry.jsonl line stays whole. *)
   match !writer with

@@ -50,6 +50,12 @@ type record = {
 
 val to_json : record -> Json.t
 
+val of_json : Json.t -> record option
+(** Inverse of {!to_json} ([None] on any shape mismatch). The result
+    store uses it to replay a cached cell's records through {!emit} so
+    a resumed run writes the same telemetry stream as an uninterrupted
+    one. *)
+
 (* {2 Collector} *)
 
 val sample : string -> float -> unit
@@ -71,6 +77,14 @@ val with_context :
 val context_profile : unit -> string option
 val context_graph : unit -> string option
 val context_seed : unit -> int option
+
+val with_tap : (record -> unit) -> (unit -> 'a) -> 'a
+(** Scope a record tap: every {!emit} under it (on this domain, and on
+    pool workers that replay a {!capture}d snapshot of it) also calls
+    the tap, whether or not a writer is installed. The result store
+    wraps each cache-miss cell in a tap to capture the records it must
+    replay on later hits. The tap must be domain-safe: it may be called
+    concurrently from several workers. *)
 
 type snapshot
 (** An immutable copy of one domain's ambient context. *)

@@ -1,0 +1,226 @@
+module Json = Gb_obs.Json
+module Metrics = Gb_obs.Metrics
+
+let format_version = 1
+
+(* Metrics are interned once; bumping them is lock-free and gated on
+   Metrics.set_enabled, so the store costs nothing to uninstrumented
+   runs (the per-store stats below always count). *)
+let m_hits = Metrics.counter "store.hits"
+let m_misses = Metrics.counter "store.misses"
+let m_writes = Metrics.counter "store.writes"
+let m_dropped = Metrics.counter "store.dropped"
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                                *)
+
+type key = { fields : (string * string) list; canonical : string; hash : string }
+
+let key fields =
+  let canonical =
+    Json.to_string (Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) fields))
+  in
+  { fields; canonical; hash = Digest.to_hex (Digest.string canonical) }
+
+let key_hash k = k.hash
+let describe k = k.canonical
+
+(* ------------------------------------------------------------------ *)
+(* The store                                                           *)
+
+type t = {
+  dir : string;
+  objects_dir : string;
+  (* canonical key rendering -> value; guarded by [mutex] *)
+  table : (string, Json.t) Hashtbl.t;
+  mutex : Mutex.t;
+  readable : bool;
+  mutable tmp_seq : int;
+  s_hits : int Atomic.t;
+  s_misses : int Atomic.t;
+  s_writes : int Atomic.t;
+  s_dropped : int Atomic.t;
+}
+
+let dir t = t.dir
+let index_path dir = Filename.concat dir "index.json"
+let exists dir = Sys.file_exists (index_path dir)
+
+let ensure_dir d =
+  if not (Sys.file_exists d) then
+    try Sys.mkdir d 0o755
+    with Sys_error _ when Sys.is_directory d -> ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Atomic write: the whole content lands under a unique temporary name
+   in the destination directory, then one rename makes it visible. A
+   crash at any point leaves either the old file or the new one. *)
+let write_atomic ~tmp path content =
+  let oc = open_out_bin tmp in
+  (match
+     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+   with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path
+
+let tmp_name t stem =
+  (* unique per (domain, store, call): concurrent writers never collide *)
+  t.tmp_seq <- t.tmp_seq + 1;
+  Filename.concat t.objects_dir
+    (Printf.sprintf "%s.tmp-%d-%d" stem ((Domain.self () :> int) + 1) t.tmp_seq)
+
+let write_index t n =
+  let content =
+    Json.to_string
+      (Json.Obj [ ("version", Json.Int format_version); ("records", Json.Int n) ])
+    ^ "\n"
+  in
+  write_atomic
+    ~tmp:(Filename.concat t.dir (Printf.sprintf "index.json.tmp-%d" ((Domain.self () :> int) + 1)))
+    (index_path t.dir) content
+
+let check_index dir =
+  let path = index_path dir in
+  if Sys.file_exists path then
+    let version =
+      match Json.of_string (String.trim (read_file path)) with
+      | exception _ -> None (* torn index: advisory only, rebuild it *)
+      | j -> ( match Json.member "version" j with Some (Json.Int v) -> Some v | _ -> None)
+    in
+    match version with
+    | Some v when v > format_version ->
+        failwith
+          (Printf.sprintf
+             "Store.open_store: %s uses store format %d, this build reads <= %d" dir v
+             format_version)
+    | _ -> ()
+
+(* One record file = one JSON line {"v":1,"key":{...},"value":...}.
+   Anything that does not parse into exactly that shape is corrupt and
+   dropped: the cell is simply recomputed (and the file overwritten). *)
+let record_of_line line =
+  match Json.of_string (String.trim line) with
+  | exception _ -> None
+  | j -> (
+      match (Json.member "v" j, Json.member "key" j, Json.member "value" j) with
+      | Some (Json.Int v), Some (Json.Obj fields), Some value when v = format_version ->
+          let string_fields =
+            List.map
+              (fun (k, v) -> match v with Json.String s -> Some (k, s) | _ -> None)
+              fields
+          in
+          if List.exists Option.is_none string_fields then None
+          else Some (key (List.map Option.get string_fields), value)
+      | _ -> None)
+
+let line_of_record k value =
+  Json.to_string ~strict:true
+    (Json.Obj
+       [
+         ("v", Json.Int format_version);
+         ("key", Json.Obj (List.map (fun (f, v) -> (f, Json.String v)) k.fields));
+         ("value", value);
+       ])
+  ^ "\n"
+
+let open_store ?(readable = true) dir =
+  check_index dir;
+  ensure_dir dir;
+  let objects_dir = Filename.concat dir "objects" in
+  ensure_dir objects_dir;
+  let t =
+    {
+      dir;
+      objects_dir;
+      table = Hashtbl.create 64;
+      mutex = Mutex.create ();
+      readable;
+      tmp_seq = 0;
+      s_hits = Atomic.make 0;
+      s_misses = Atomic.make 0;
+      s_writes = Atomic.make 0;
+      s_dropped = Atomic.make 0;
+    }
+  in
+  Array.iter
+    (fun name ->
+      let path = Filename.concat objects_dir name in
+      if Filename.check_suffix name ".json" then (
+        match record_of_line (read_file path) with
+        | Some (k, value) -> Hashtbl.replace t.table k.canonical value
+        | None ->
+            (* truncated/corrupt record: drop it, the run recomputes *)
+            Atomic.incr t.s_dropped;
+            Metrics.incr m_dropped)
+      else
+        (* leftovers of writers killed between open_out and rename *)
+        let is_tmp =
+          let marker = ".tmp-" in
+          let m = String.length marker and n = String.length name in
+          let rec scan i =
+            i + m <= n && (String.sub name i m = marker || scan (i + 1))
+          in
+          scan 0
+        in
+        if is_tmp then try Sys.remove path with Sys_error _ -> ())
+    (Sys.readdir objects_dir);
+  write_index t (Hashtbl.length t.table);
+  t
+
+let length t = Mutex.protect t.mutex (fun () -> Hashtbl.length t.table)
+
+let find t k =
+  if not t.readable then begin
+    Atomic.incr t.s_misses;
+    Metrics.incr m_misses;
+    None
+  end
+  else
+    match Mutex.protect t.mutex (fun () -> Hashtbl.find_opt t.table k.canonical) with
+    | Some v ->
+        Atomic.incr t.s_hits;
+        Metrics.incr m_hits;
+        Some v
+    | None ->
+        Atomic.incr t.s_misses;
+        Metrics.incr m_misses;
+        None
+
+let add t k value =
+  let line = line_of_record k value in
+  Mutex.protect t.mutex (fun () ->
+      let path = Filename.concat t.objects_dir (k.hash ^ ".json") in
+      write_atomic ~tmp:(tmp_name t k.hash) path line;
+      Hashtbl.replace t.table k.canonical value);
+  Atomic.incr t.s_writes;
+  Metrics.incr m_writes
+
+let sync t = Mutex.protect t.mutex (fun () -> write_index t (Hashtbl.length t.table))
+let close t = sync t
+
+type stats = { hits : int; misses : int; writes : int; dropped : int }
+
+let stats t =
+  {
+    hits = Atomic.get t.s_hits;
+    misses = Atomic.get t.s_misses;
+    writes = Atomic.get t.s_writes;
+    dropped = Atomic.get t.s_dropped;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The ambient store: a cross-domain global (unlike the telemetry
+   context, which is domain-local) so pool workers of a --jobs fan-out
+   see the store the executable opened at startup.                     *)
+
+let current_store : t option Atomic.t = Atomic.make None
+let set_current s = Atomic.set current_store s
+let current () = Atomic.get current_store

@@ -64,6 +64,20 @@ let table_tests =
         Alcotest.(check (float 1e-9)) "empty mean" 0. (Table.mean []);
         Alcotest.(check (float 1e-9)) "stddev" 1. (Table.stddev [ 1.; 2.; 3. ]);
         Alcotest.(check (float 1e-9)) "singleton" 0. (Table.stddev [ 4. ]));
+    case "stddev never goes nan on degenerate samples" (fun () ->
+        (* regression: n-1 = 0 must report "no spread", not nan, or the
+           rendered tables and strict JSON both blow up downstream *)
+        List.iter
+          (fun xs -> check_bool "finite" true (Float.is_finite (Table.stddev xs)))
+          [ []; [ 0. ]; [ 7.5 ]; [ 3.; 3.; 3. ] ]);
+    case "run and quad JSON codecs invert" (fun () ->
+        let run cut = { Runner.cut; seconds = 0.125 *. float_of_int cut; balanced = cut mod 2 = 0 } in
+        let r = run 9 in
+        check_bool "run" true (Runner.run_of_json (Runner.run_to_json r) = Some r);
+        let q = { Runner.bsa = run 4; bcsa = run 3; bkl = run 8; bckl = run 1 } in
+        check_bool "quad" true (Runner.quad_of_json (Runner.quad_to_json q) = Some q);
+        check_bool "mismatch is None" true
+          (Runner.quad_of_json (Runner.run_to_json r) = None));
     case "to_csv quotes and escapes" (fun () ->
         let csv =
           Table.to_csv ~header:[ "a"; "b" ]

@@ -432,6 +432,14 @@ let io_tests =
         let g = Gio.of_edge_list_string s in
         check_int "n" 3 (Graph.n_vertices g);
         check_int "m" 2 (Graph.n_edges g));
+    case "edge-list accepts CRLF line endings" (fun () ->
+        (* a file written on Windows: every line ends "\r\n" *)
+        let s = "3 2\r\n0 1\r\n1 2\r\n" in
+        let g = Gio.of_edge_list_string s in
+        check_int "n" 3 (Graph.n_vertices g);
+        check_int "m" 2 (Graph.n_edges g);
+        check_bool "same as LF" true
+          (Graph.equal g (Gio.of_edge_list_string "3 2\n0 1\n1 2\n")));
     case "edge-list rejects malformed input" (fun () ->
         List.iter
           (fun s ->
@@ -463,6 +471,16 @@ let io_tests =
     case "metis skips % comments" (fun () ->
         let s = "% header comment\n2 1\n2\n1\n" in
         check_int "m" 1 (Graph.n_edges (Gio.of_metis_string s)));
+    case "metis skips # comments too" (fun () ->
+        let s = "# emitted by some exporters\n2 1\n2\n1\n" in
+        check_int "m" 1 (Graph.n_edges (Gio.of_metis_string s)));
+    case "metis accepts CRLF line endings" (fun () ->
+        let s = "% comment\r\n4 4\r\n2 3\r\n1 3\r\n1 2 4\r\n3\r\n" in
+        let g = Gio.of_metis_string s in
+        check_int "n" 4 (Graph.n_vertices g);
+        check_int "m" 4 (Graph.n_edges g);
+        check_bool "same as LF" true
+          (Graph.equal g (Gio.of_metis_string "4 4\n2 3\n1 3\n1 2 4\n3\n")));
     case "metis rejects bad headers and counts" (fun () ->
         List.iter
           (fun s ->
@@ -470,6 +488,40 @@ let io_tests =
             | exception Failure _ -> ()
             | _ -> Alcotest.failf "accepted %S" s)
           [ ""; "2 1 9\n2\n1\n"; "4 1\n2\n1\n"; "2 5\n2\n1\n"; "2 1\n2\n1\nextra\n" ]);
+    Helpers.qtest ~count:100 "edge-list round-trips any graph"
+      (Helpers.gen_graph ())
+      (fun g -> Graph.equal g (Gio.of_edge_list_string (Gio.to_edge_list_string g)));
+    Helpers.qtest ~count:100 "metis round-trips any unit-vertex-weight graph"
+      (Helpers.gen_graph ())
+      (fun g -> Graph.equal g (Gio.of_metis_string (Gio.to_metis_string g)));
+    Helpers.qtest ~count:100 "parsers are line-ending agnostic"
+      (Helpers.gen_graph ())
+      (fun g ->
+        let crlf s =
+          String.concat "\r\n" (String.split_on_char '\n' s)
+        in
+        Graph.equal g (Gio.of_edge_list_string (crlf (Gio.to_edge_list_string g)))
+        && Graph.equal g (Gio.of_metis_string (crlf (Gio.to_metis_string g))));
+    Helpers.qtest_pair ~count:200 "corrupted input never escapes Failure"
+      QCheck2.Gen.(pair (Helpers.gen_graph ()) (int_range 0 1_000_000))
+      (fun (g, i) -> Printf.sprintf "%s @ %d" (Helpers.graph_print g) i)
+      (fun (g, i) ->
+        (* overwrite one byte of a valid file: the parser must either
+           still produce a graph or fail with its documented exceptions,
+           never crash some other way *)
+        let corrupt s =
+          let b = Bytes.of_string s in
+          Bytes.set b (i mod Bytes.length b) 'x';
+          Bytes.to_string b
+        in
+        let survives parse s =
+          match parse s with
+          | (_ : Graph.t) -> true
+          | exception Failure _ -> true
+          | exception Invalid_argument _ -> true
+        in
+        survives Gio.of_edge_list_string (corrupt (Gio.to_edge_list_string g))
+        && survives Gio.of_metis_string (corrupt (Gio.to_metis_string g)));
     case "dot output mentions every edge" (fun () ->
         let g = triangle () in
         let dot = Gio.to_dot g in

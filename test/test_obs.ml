@@ -57,6 +57,17 @@ let json_tests =
         match Json.of_string "{} trailing" with
         | exception _ -> ()
         | _ -> Alcotest.fail "accepted trailing garbage");
+    case "strict to_string rejects non-finite floats" (fun () ->
+        List.iter
+          (fun x ->
+            match Json.to_string ~strict:true (Json.Obj [ ("x", Json.Float x) ]) with
+            | exception Invalid_argument _ -> ()
+            | s -> Alcotest.failf "strict rendered %f as %s" x s)
+          [ Float.nan; Float.infinity; Float.neg_infinity ]);
+    case "non-strict to_string renders non-finite floats as null" (fun () ->
+        Alcotest.(check string) "nan" "[null]" (Json.to_string (Json.List [ Json.Float Float.nan ]));
+        Alcotest.(check string) "finite untouched" "[1.5]"
+          (Json.to_string (Json.List [ Json.Float 1.5 ])));
   ]
 
 (* --- Metrics --------------------------------------------------------------- *)
@@ -253,6 +264,72 @@ let telemetry_tests =
         match Json.member "trajectory" v with
         | Some (Json.List [ _; _ ]) -> ()
         | _ -> Alcotest.fail "trajectory shape");
+    case "of_json inverts to_json" (fun () ->
+        let r =
+          {
+            Telemetry.algorithm = "CKL";
+            graph = "gbreg/b=8/rep1";
+            profile = "quick";
+            seed = Some 7;
+            start = 0;
+            cut = 11;
+            seconds = 1.25;
+            balanced = false;
+            trajectory = [ ("kl.pass", 20.); ("compaction.level", 3.) ];
+            metrics = [ ("passes", Json.Int 4); ("plateau", Json.Bool false) ];
+          }
+        in
+        check_bool "round trip" true (Telemetry.of_json (Telemetry.to_json r) = Some r);
+        (* survives a serialise/parse cycle too (what the store does) *)
+        check_bool "via string" true
+          (Telemetry.of_json (Json.of_string (Json.to_string (Telemetry.to_json r)))
+          = Some r);
+        let no_seed = { r with Telemetry.seed = None } in
+        check_bool "no seed" true
+          (Telemetry.of_json (Telemetry.to_json no_seed) = Some no_seed));
+    case "of_json is None on shape mismatches" (fun () ->
+        List.iter
+          (fun s ->
+            check_bool s true (Telemetry.of_json (Json.of_string s) = None))
+          [
+            "{}";
+            "[1,2]";
+            {|{"algorithm": 3}|};
+            {|{"algorithm":"KL","graph":"g","profile":"p","start":0,"cut":"x","seconds":0,"balanced":true,"trajectory":[],"metrics":{}}|};
+          ]);
+    case "with_tap sees every emit, writer or not" (fun () ->
+        pristine (fun () ->
+            let r =
+              {
+                Telemetry.algorithm = "KL";
+                graph = "g";
+                profile = "smoke";
+                seed = None;
+                start = 0;
+                cut = 1;
+                seconds = 0.;
+                balanced = true;
+                trajectory = [];
+                metrics = [];
+              }
+            in
+            let tapped = ref [] and written = ref [] in
+            (* no writer installed: the tap alone receives the record *)
+            Telemetry.with_tap
+              (fun r -> tapped := r :: !tapped)
+              (fun () -> Telemetry.emit r);
+            check_int "tap only" 1 (List.length !tapped);
+            (* writer and tap both see it *)
+            Telemetry.set_writer (Some (fun r -> written := r :: !written));
+            Telemetry.with_tap
+              (fun r -> tapped := r :: !tapped)
+              (fun () -> Telemetry.emit { r with Telemetry.cut = 2 });
+            check_int "tap again" 2 (List.length !tapped);
+            check_int "writer too" 1 (List.length !written);
+            (* tap is scoped: an emit outside reaches only the writer *)
+            Telemetry.emit { r with Telemetry.cut = 3 };
+            check_int "tap restored" 2 (List.length !tapped);
+            check_int "writer still on" 2 (List.length !written)));
     case "with_context scopes and inherits labels" (fun () ->
         Telemetry.with_context ~graph:"g1" ~seed:9 (fun () ->
             check_bool "graph" true (Telemetry.context_graph () = Some "g1");
