@@ -123,7 +123,7 @@ let run_bechamel ids =
         in
         (name, est) :: acc)
       results []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   List.iter (fun (name, est) -> Printf.printf "  %-28s %s ns/run\n" name est) rows;
   print_newline ()
@@ -139,8 +139,10 @@ let run_bechamel ids =
 let run_parallel_bench profile selected jobs file =
   let time_with j e =
     Pool.set_jobs j;
+    (* lint: allow no-wall-clock — the parallel bench measures real elapsed time by design *)
     let t0 = Unix.gettimeofday () in
     ignore (e.Registry.run profile);
+    (* lint: allow no-wall-clock — the parallel bench measures real elapsed time by design *)
     Unix.gettimeofday () -. t0
   in
   let rows =
@@ -270,12 +272,14 @@ let () =
     !profile.Profile.name
     (Profile.scaled !profile 5000)
     (Pool.jobs ());
+  (* lint: allow no-wall-clock — total wall time is operator feedback, never stored *)
   let t_start = Unix.gettimeofday () in
   (match !out_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
   | _ -> ());
   (* Observability: real wall clock for spans, a telemetry stream and a
      metrics dump under --out, a Perfetto-loadable trace under --trace. *)
+  (* lint: allow no-wall-clock — the bench installs the real clock into Gb_obs.Clock at startup *)
   Obs.Trace.set_clock Unix.gettimeofday;
   (match !trace_file with
   | Some file -> Obs.Trace.set (Obs.Trace.to_file file)
@@ -360,4 +364,5 @@ let () =
       (match !parallel_bench with
       | Some file -> run_parallel_bench !profile selected (Pool.jobs ()) file
       | None -> ());
+      (* lint: allow no-wall-clock — total wall time is operator feedback, never stored *)
       Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t_start))

@@ -5,6 +5,7 @@
      solve  bisect a graph file with any of the six algorithms
      table  regenerate one of the paper's tables (see `table --list`)
      demo   Figure 3: a ladder graph with a bisection, as DOT
+     lint   determinism & domain-safety static analysis of OCaml sources
 
    Graphs travel in the edge-list format of Gbisect.Graph_io; METIS
    files are auto-detected by the `.graph` extension. *)
@@ -83,6 +84,7 @@ let usage_error msg =
   exit 2
 
 let with_obs ~trace ~metrics f =
+  (* lint: allow no-wall-clock — the CLI installs the real clock into Gb_obs.Clock at startup *)
   Gbisect.Obs.Trace.set_clock Unix.gettimeofday;
   (match trace with
   | Some file -> (
@@ -436,12 +438,57 @@ let demo_cmd =
   let info = Cmd.info "demo" ~doc:"Figure 3: ladder graph with its bisection (DOT)." in
   Cmd.v info Term.(const run $ seed_term $ output_term)
 
+(* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+
+let lint_cmd =
+  let paths_term =
+    let doc =
+      "Files or directories to lint (directories are walked recursively for .ml and \
+       .mli sources). Defaults to $(b,lib bin bench test)."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc)
+  in
+  let json_term =
+    let doc = "Emit a machine-readable one-line JSON report on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let rules_term =
+    let doc = "Print the rule catalogue and the config allowlist, then exit." in
+    Arg.(value & flag & info [ "rules" ] ~doc)
+  in
+  let run paths json rules =
+    if rules then print_string (Gbisect.Lint.rules_doc ())
+    else begin
+      let paths =
+        match paths with [] -> [ "lib"; "bin"; "bench"; "test" ] | ps -> ps
+      in
+      runtime_guard @@ fun () ->
+      match Gbisect.Lint.lint_paths paths with
+      | Error msg -> usage_error msg
+      | Ok report ->
+          if json then print_endline (Gbisect.Lint.render_json report)
+          else print_string (Gbisect.Lint.render_human report);
+          Printf.eprintf "gbisect: lint: %s\n" (Gbisect.Lint.summary report);
+          exit (Gbisect.Lint.exit_code report)
+    end
+  in
+  let info =
+    Cmd.info "lint"
+      ~doc:
+        "Static analysis: determinism and domain-safety rules over the OCaml sources \
+         (ambient randomness, wall-clock reads, polymorphic compare, unguarded mutable \
+         globals — see LINTING.md). Exits 0 when clean, 1 on findings, 2 on usage \
+         errors."
+  in
+  Cmd.v info Term.(const run $ paths_term $ json_term $ rules_term)
+
 let main_cmd =
   let info =
     Cmd.info "gbisect" ~version:"1.0.0"
       ~doc:"Graph bisection: Kernighan-Lin, simulated annealing, and compaction (DAC'89)."
   in
-  Cmd.group info [ gen_cmd; solve_cmd; kway_cmd; netlist_cmd; table_cmd; demo_cmd ]
+  Cmd.group info [ gen_cmd; solve_cmd; kway_cmd; netlist_cmd; table_cmd; demo_cmd; lint_cmd ]
 
 (* Cmdliner's stock exit codes are 124 (cli error) and 125 (internal
    error); fold them onto the documented contract: 2 = usage, 1 =

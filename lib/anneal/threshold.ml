@@ -50,7 +50,7 @@ module Make (P : Sa.Problem) = struct
       let d = P.delta state mv in
       if d > 0. then deltas := d :: !deltas
     done;
-    match List.sort compare !deltas with
+    match List.sort Float.compare !deltas with
     | [] -> 1.0
     | sorted ->
         let k =

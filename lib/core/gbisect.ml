@@ -42,6 +42,8 @@ module Hsa = Gb_hyper.Hsa
 module Obs = Gb_obs
 module Pool = Gb_par.Pool
 module Store = Gb_store.Store
+module Lint = Gb_lint.Lint
+module Lint_rules = Gb_lint.Rules
 module Profile = Gb_experiments.Profile
 module Runner = Gb_experiments.Runner
 module Registry = Gb_experiments.Registry
@@ -77,7 +79,7 @@ let solve ?(algorithm = `Ckl) ?(starts = 2) rng g =
   let base = Rng.derive_seed rng in
   let best =
     Pool.best_by (Pool.current ())
-      ~compare:(fun a b -> compare (Bisection.cut a) (Bisection.cut b))
+      ~compare:(fun a b -> Int.compare (Bisection.cut a) (Bisection.cut b))
       (fun i -> run_once algorithm (Rng.substream ~base i) g)
       starts
   in

@@ -97,6 +97,18 @@ module Store = Gb_store.Store
     stored cells instead of recomputing them, so interrupted runs
     resume byte-identically — see DESIGN.md. *)
 
+(** {1 Static analysis} *)
+
+module Lint = Gb_lint.Lint
+(** The determinism and domain-safety linter behind [gbisect lint]: a
+    token-level scan of the codebase for ambient randomness, wall-clock
+    reads, polymorphic compare, unserialised mutable globals, and the
+    other hazards that would undermine the [--jobs] and resume
+    byte-identity guarantees — see LINTING.md. *)
+
+module Lint_rules = Gb_lint.Rules
+(** The individual lint rules, pragmas, and the config allowlist. *)
+
 (** {1 Experiment harness (paper §VI)} *)
 
 module Profile = Gb_experiments.Profile

@@ -43,7 +43,9 @@ let render ~title ?(height = 12) ?(y_label = "") ?(x_label = "") series =
           done)
         data;
       let label_for_row r =
+        (* lint: allow no-float-format — axis labels on a display-only ASCII chart *)
         if r = 0 then Printf.sprintf "%10.1f" hi
+        (* lint: allow no-float-format — axis labels on a display-only ASCII chart *)
         else if r = rows - 1 then Printf.sprintf "%10.1f" lo
         else String.make 10 ' '
       in

@@ -194,6 +194,7 @@ let geometric_table profile =
         let replicate_cell j =
           let seed =
             Rng.seed_of_string
+              (* lint: allow no-float-format — degree is a literal constant; %g renders it identically on every run *)
               (Printf.sprintf "%d/geom/%g/%d" profile.Profile.master_seed avg_degree j)
           in
           let compute () =
@@ -222,6 +223,7 @@ let geometric_table profile =
           in
           through_store
             (cell_key profile ~table:"geometric"
+               (* lint: allow no-float-format — degree is a literal constant; %g renders it identically on every run *)
                ~row:(Printf.sprintf "avg-deg-%g" avg_degree)
                ~replicate:j ~seed)
             ~encode:(fun cuts -> series_to_json [ ("cuts", cuts) ])
@@ -237,6 +239,7 @@ let geometric_table profile =
         done;
         let k = float_of_int replicates in
         [
+          (* lint: allow no-float-format — display-only row label built from a literal degree *)
           Printf.sprintf "avg deg %g" avg_degree;
           Table.float_cell ~decimals:1 (sums.(0) /. k);
           Table.float_cell ~decimals:1 (sums.(1) /. k);

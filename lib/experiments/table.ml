@@ -59,8 +59,12 @@ let to_csv ~header rows =
   String.concat "" (List.map line (header :: rows))
 
 let int_cell = string_of_int
+
+(* lint: allow no-float-format — the canonical display-only table cells: fixed precision is the point *)
 let float_cell ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+(* lint: allow no-float-format — the canonical display-only table cells: fixed precision is the point *)
 let seconds_cell x = Printf.sprintf "%.3f" x
+(* lint: allow no-float-format — the canonical display-only table cells: fixed precision is the point *)
 let pct_cell x = Printf.sprintf "%.1f%%" x
 
 let improvement_pct ~base ~improved =

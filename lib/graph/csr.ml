@@ -105,7 +105,7 @@ let degree_histogram g =
     Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
   done;
   Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let is_unit_weighted g =
   Array.for_all (fun w -> w = 1) g.vwgt && Array.for_all (fun w -> w = 1) g.adjwgt
@@ -192,7 +192,7 @@ let of_edges ?vertex_weights ~n edge_list =
     let len = hi - lo in
     if len > 1 then begin
       let pairs = Array.init len (fun i -> (adjncy.(lo + i), adjwgt.(lo + i))) in
-      Array.sort (fun (a, _) (b, _) -> compare a b) pairs;
+      Array.sort (fun (a, _) (b, _) -> Int.compare a b) pairs;
       Array.iteri
         (fun i (v, w) ->
           adjncy.(lo + i) <- v;
@@ -218,6 +218,7 @@ let of_unweighted_edges ~n edge_list =
 let empty n = of_edges ~n []
 
 let pp fmt g =
+  (* lint: allow no-float-format — display-only pretty-printer *)
   Format.fprintf fmt "graph: %d vertices, %d edges, avg degree %.2f%s" g.n g.m
     (average_degree g)
     (if is_unit_weighted g then "" else " (weighted)")

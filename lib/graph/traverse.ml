@@ -182,15 +182,18 @@ let low_link g ~on_bridge ~on_articulation =
     if is_articulation.(v) then on_articulation v
   done
 
+let compare_edge (u1, v1) (u2, v2) =
+  match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c
+
 let bridges g =
   let acc = ref [] in
   low_link g ~on_bridge:(fun e -> acc := e :: !acc) ~on_articulation:(fun _ -> ());
-  List.sort compare !acc
+  List.sort compare_edge !acc
 
 let articulation_points g =
   let acc = ref [] in
   low_link g ~on_bridge:(fun _ -> ()) ~on_articulation:(fun v -> acc := v :: !acc);
-  List.sort compare !acc
+  List.sort Int.compare !acc
 
 let eccentricity g src =
   Array.fold_left (fun acc d -> if d > acc then d else acc) 0 (bfs_distances g src)

@@ -62,7 +62,7 @@ let contract h mate =
     let image =
       Hgraph.net_members h e |> Array.to_list
       |> List.map (fun v -> fine_to_coarse.(v))
-      |> List.sort_uniq compare
+      |> List.sort_uniq Int.compare
     in
     match image with _ :: _ :: _ -> nets := image :: !nets | _ -> ()
   done;

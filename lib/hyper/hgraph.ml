@@ -18,7 +18,7 @@ let of_nets ~n nets =
           (fun v ->
             if v < 0 || v >= n then invalid_arg "Hgraph.of_nets: member out of range")
           net;
-        Array.of_list (List.sort_uniq compare net))
+        Array.of_list (List.sort_uniq Int.compare net))
       nets
   in
   let nets_arr = Array.of_list cleaned in
@@ -130,5 +130,6 @@ let check h =
   done
 
 let pp fmt h =
+  (* lint: allow no-float-format — display-only pretty-printer *)
   Format.fprintf fmt "hypergraph: %d vertices, %d nets, %d pins, avg net size %.2f" h.n
     (n_nets h) (n_pins h) (average_net_size h)

@@ -1,0 +1,113 @@
+module Json = Gb_obs.Json
+
+type report = { files : string list; findings : Rules.finding list }
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let is_source name =
+  Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+
+let skip_dir name = name = "_build" || (String.length name > 0 && name.[0] = '.')
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Array.to_list (Sys.readdir path)
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if skip_dir name then acc else walk (Filename.concat path name) acc)
+         acc
+  else if is_source path then path :: acc
+  else acc
+
+let expand_paths paths =
+  let rec expand acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: tl ->
+        if not (Sys.file_exists p) then
+          Error (Printf.sprintf "lint: no such file or directory: %s" p)
+        else if Sys.is_directory p then expand (List.rev_append (walk p []) acc) tl
+        else expand (p :: acc) tl
+  in
+  Result.map (List.sort_uniq String.compare) (expand [] paths)
+
+let lint_files files =
+  let findings =
+    List.concat_map (fun f -> Rules.check_source ~file:f (read_file f)) files
+  in
+  (* check_source sorts within a file; keep files themselves sorted so
+     the report is deterministic whatever order the shell expanded. *)
+  let by_file a b =
+    match String.compare a.Rules.file b.Rules.file with
+    | 0 -> (
+        match Int.compare a.Rules.line b.Rules.line with
+        | 0 -> String.compare a.Rules.rule b.Rules.rule
+        | c -> c)
+    | c -> c
+  in
+  { files; findings = List.sort by_file findings }
+
+let lint_paths paths = Result.map lint_files (expand_paths paths)
+
+let render_human r =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d: %s [%s] %s\n" f.Rules.file f.Rules.line
+           (Rules.severity_name f.Rules.severity)
+           f.Rules.rule f.Rules.message))
+    r.findings;
+  Buffer.contents buf
+
+let render_json r =
+  Json.to_string
+    (Json.Obj
+       [
+         ("files_scanned", Json.Int (List.length r.files));
+         ( "findings",
+           Json.List
+             (List.map
+                (fun f ->
+                  Json.Obj
+                    [
+                      ("file", Json.String f.Rules.file);
+                      ("line", Json.Int f.Rules.line);
+                      ("rule", Json.String f.Rules.rule);
+                      ("severity", Json.String (Rules.severity_name f.Rules.severity));
+                      ("message", Json.String f.Rules.message);
+                    ])
+                r.findings) );
+       ])
+
+let summary r =
+  let n = List.length r.findings in
+  Printf.sprintf "%d finding%s in %d file%s" n
+    (if n = 1 then "" else "s")
+    (List.length r.files)
+    (if List.length r.files = 1 then "" else "s")
+
+let exit_code r = if r.findings = [] then 0 else 1
+
+let rules_doc () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "rules:\n";
+  List.iter
+    (fun (r : Rules.rule) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-24s %-7s %s\n" r.Rules.name
+           (Rules.severity_name r.Rules.r_severity)
+           r.Rules.summary))
+    Rules.all;
+  Buffer.add_string buf
+    "  pragma                   -       meta: malformed or unused suppression pragmas\n";
+  Buffer.add_string buf "\nallowlist (module that owns the effect is exempt):\n";
+  List.iter
+    (fun (fragment, rules) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-24s %s\n" fragment (String.concat ", " rules)))
+    Rules.allowlist;
+  Buffer.add_string buf
+    "\nsuppression: (* lint: allow <rule>[, <rule>] \xe2\x80\x94 reason *) on the \
+     offending line or the line above\n";
+  Buffer.contents buf

@@ -1,0 +1,56 @@
+(** The determinism & domain-safety rule set.
+
+    Every rule here guards an invariant that the reproduction's
+    headline guarantees rest on — bit-identical results at any
+    [--jobs] and byte-identical resumed runs — or the domain-safety
+    discipline that makes the parallel layer sound. The catalogue,
+    with the rationale for each rule, lives in LINTING.md.
+
+    Rules operate on {!Tokenizer.t} streams, so they never fire inside
+    comments or string/char literals. Findings can be silenced two
+    ways:
+
+    - the built-in {!allowlist} exempts the module that {i owns} an
+      effect (e.g. [lib/prng] is the sanctioned randomness provider);
+    - an inline pragma [(* lint: allow <rule> — reason *)] suppresses
+      the named rule on the comment's lines and the line after it. The
+      reason is mandatory; a malformed, unknown-rule or unused pragma
+      is itself reported (meta-rule ["pragma"]). *)
+
+type severity = Error | Warning
+
+val severity_name : severity -> string
+(** ["error"] / ["warning"]. *)
+
+type finding = {
+  file : string;
+  line : int;
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+type rule = {
+  name : string;
+  r_severity : severity;
+  summary : string;  (** one line, shown by [lint --rules] *)
+  applies : string -> bool;  (** on a '/'-normalized path *)
+  check : file:string -> Tokenizer.t -> finding list;
+}
+
+val all : rule list
+val known_rule : string -> bool
+
+val allowlist : (string * string list) list
+(** [(path fragment, exempted rules)]: a finding is dropped when its
+    file's normalized path contains the fragment. *)
+
+val normalize_path : string -> string
+(** Backslashes to slashes (so rules and the allowlist match on every
+    platform). *)
+
+val check_source : file:string -> string -> finding list
+(** Tokenize [source] and run every rule that applies to [file], then
+    apply the allowlist and inline pragmas. Pragma hygiene problems
+    are appended as ["pragma"] findings. Result is sorted by line,
+    then rule name. *)

@@ -9,7 +9,7 @@ let is_graphical deg =
     if sum land 1 = 1 then false
     else begin
       let d = Array.copy deg in
-      Array.sort (fun a b -> compare b a) d;
+      Array.sort (fun a b -> Int.compare b a) d;
       (* Erdős–Gallai: for every k,
          sum_{i<=k} d_i <= k(k-1) + sum_{i>k} min(d_i, k). *)
       let prefix = Array.make (n + 1) 0 in

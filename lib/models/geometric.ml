@@ -55,7 +55,12 @@ let strip_cut g points =
   let n = Csr.n_vertices g in
   if Array.length points <> n then invalid_arg "Geometric.strip_cut: length mismatch";
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare (points.(a).x, a) (points.(b).x, b)) order;
+  Array.sort
+    (fun a b ->
+      match Float.compare points.(a).x points.(b).x with
+      | 0 -> Int.compare a b
+      | c -> c)
+    order;
   let side = Array.make n 1 in
   for i = 0 to (n / 2) - 1 do
     side.(order.(i)) <- 0

@@ -1,3 +1,6 @@
-let source = ref Sys.time
-let set f = source := f
-let now () = !source ()
+(* The ambient clock source: installed once at startup by executables,
+   read from every domain. Atomic so an install is published to pool
+   workers without a data race. *)
+let source = Atomic.make Sys.time
+let set f = Atomic.set source f
+let now () = (Atomic.get source) ()

@@ -41,7 +41,9 @@ let max_float a v = update_float a (fun x -> if v > x then v else x)
    hot path — bumping an interned instrument is lock-free. *)
 let registry_mutex = Mutex.create ()
 
+(* lint: allow no-naked-mutable-global — every access interns through registry_mutex *)
 let counter_registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+(* lint: allow no-naked-mutable-global — every access interns through registry_mutex *)
 let histogram_registry : (string, histogram) Hashtbl.t = Hashtbl.create 32
 
 let intern registry name make =
@@ -107,7 +109,7 @@ let reset () =
         histogram_registry)
 
 let sorted_names tbl =
-  Hashtbl.fold (fun name _ acc -> name :: acc) tbl [] |> List.sort compare
+  Hashtbl.fold (fun name _ acc -> name :: acc) tbl [] |> List.sort String.compare
 
 let counters () =
   Mutex.protect registry_mutex (fun () ->
@@ -173,6 +175,7 @@ let render () =
           Buffer.add_string buf (Printf.sprintf "  %-32s (empty)\n" name)
         else
           Buffer.add_string buf
+            (* lint: allow no-float-format — human-readable metrics report, never parsed back *)
             (Printf.sprintf "  %-32s count %d  mean %.2f  min %g  max %g\n" name s.count
                (s.sum /. float_of_int s.count)
                s.min_value s.max_value))

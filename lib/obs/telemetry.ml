@@ -166,11 +166,14 @@ let context_seed () = (Domain.DLS.get context_key).seed
 (* ------------------------------------------------------------------ *)
 (* Emission                                                            *)
 
-let writer : (record -> unit) option ref = ref None
+(* Atomic install, mutex-serialised use: a writer swap is published to
+   every domain race-free, and concurrent emits queue on the mutex so
+   each telemetry line reaches the writer whole. *)
+let writer : (record -> unit) option Atomic.t = Atomic.make None
 let emit_mutex = Mutex.create ()
 
-let set_writer w = Mutex.protect emit_mutex (fun () -> writer := w)
-let writer_installed () = !writer <> None
+let set_writer w = Mutex.protect emit_mutex (fun () -> Atomic.set writer w)
+let writer_installed () = Option.is_some (Atomic.get writer)
 
 let emit r =
   (* The ambient tap (the result store capturing a cell) sees every
@@ -178,11 +181,11 @@ let emit r =
   (match (Domain.DLS.get context_key).tap with None -> () | Some tap -> tap r);
   (* Serialised so that records from concurrent domains reach the
      writer one at a time and each telemetry.jsonl line stays whole. *)
-  match !writer with
+  match Atomic.get writer with
   | None -> ()
   | Some _ ->
       Mutex.protect emit_mutex (fun () ->
-          match !writer with None -> () | Some w -> w r)
+          match Atomic.get writer with None -> () | Some w -> w r)
 
 let to_channel oc r =
   output_string oc (Json.to_string (to_json r));

@@ -9,22 +9,23 @@ let to_file path =
   Writer { write = output_string oc; close_writer = (fun () -> close_out oc) }
 
 (* The sink is installed once at startup but written from every domain:
+   the cell is Atomic so installs are published race-free, and
    [sink_mutex] serialises writes (and close) so each event line lands
    whole in the output. *)
-let current = ref Noop
+let current = Atomic.make Noop
 let sink_mutex = Mutex.create ()
 
 let close () =
   Mutex.protect sink_mutex (fun () ->
-      (match !current with Noop -> () | Writer w -> w.close_writer ());
-      current := Noop)
+      (match Atomic.get current with Noop -> () | Writer w -> w.close_writer ());
+      Atomic.set current Noop)
 
 let set sink =
   close ();
-  Mutex.protect sink_mutex (fun () -> current := sink)
+  Mutex.protect sink_mutex (fun () -> Atomic.set current sink)
 
 let () = at_exit close
-let enabled () = !current <> Noop
+let enabled () = match Atomic.get current with Noop -> false | Writer _ -> true
 
 let set_clock = Clock.set
 let now_us () = Clock.now () *. 1e6
@@ -32,7 +33,7 @@ let now_us () = Clock.now () *. 1e6
 (* One trace_event object per line. pid is constant; tid is the domain
    id, so a parallel run renders as one Perfetto track per domain. *)
 let emit ~ph ?dur ?(args = []) ~ts name =
-  match !current with
+  match Atomic.get current with
   | Noop -> ()
   | Writer _ ->
       let fields =
@@ -57,7 +58,7 @@ let emit ~ph ?dur ?(args = []) ~ts name =
       (* Serialise the write itself, re-checking the sink under the
          lock in case another domain closed it meanwhile. *)
       Mutex.protect sink_mutex (fun () ->
-          match !current with Noop -> () | Writer w -> w.write line)
+          match Atomic.get current with Noop -> () | Writer w -> w.write line)
 
 let start () = if enabled () then now_us () else Float.nan
 

@@ -3,11 +3,13 @@ type t = { n_domains : int }
 let create ~domains = { n_domains = max 1 domains }
 let domains t = t.n_domains
 
-let ambient_jobs : int option ref = ref None
-let set_jobs n = ambient_jobs := Some (max 1 n)
+(* Atomic: --jobs is installed once by the CLI but read from any domain
+   that asks for the ambient pool. *)
+let ambient_jobs : int option Atomic.t = Atomic.make None
+let set_jobs n = Atomic.set ambient_jobs (Some (max 1 n))
 
 let jobs () =
-  match !ambient_jobs with
+  match Atomic.get ambient_jobs with
   | Some n -> n
   | None -> max 1 (Domain.recommended_domain_count ())
 
@@ -78,6 +80,7 @@ let best_by pool ~compare f n =
   let results = run_indexed pool n f in
   let best = ref results.(0) in
   for i = 1 to n - 1 do
+    (* lint: allow no-poly-compare — compare is the caller-supplied comparator parameter *)
     if compare results.(i) !best < 0 then best := results.(i)
   done;
   !best

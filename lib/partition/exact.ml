@@ -9,7 +9,7 @@ let solve ?(limit = 30) g =
   if n = 0 then (0, [||])
   else begin
     let order = Array.init n (fun i -> i) in
-    Array.sort (fun a b -> compare (Csr.degree g b) (Csr.degree g a)) order;
+    Array.sort (fun a b -> Int.compare (Csr.degree g b) (Csr.degree g a)) order;
     let rank = Array.make n 0 in
     Array.iteri (fun i v -> rank.(v) <- i) order;
     (* Adjacency among earlier-ranked vertices only, pre-extracted. *)

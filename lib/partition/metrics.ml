@@ -79,14 +79,15 @@ let pp fmt m =
   let c0, c1 = m.counts and w0, w1 = m.weights in
   let i0, i1 = m.internal_edges and k0, k1 = m.components_within in
   Format.fprintf fmt
+    (* lint: allow no-float-format — display-only pretty-printer *)
     "cut %d@ sides %d/%d (weights %d/%d, imbalance %.1f%%)@ boundary %d vertices@ \
      internal edge weight %d/%d@ conductance %.4f@ induced components %d/%d"
     m.cut c0 c1 w0 w1 (100. *. m.imbalance) m.boundary_vertices i0 i1 m.conductance k0 k1
 
 let compare_cuts a b =
-  match compare a.cut b.cut with
+  match Int.compare a.cut b.cut with
   | 0 -> (
-      match compare a.imbalance b.imbalance with
-      | 0 -> compare a.boundary_vertices b.boundary_vertices
+      match Float.compare a.imbalance b.imbalance with
+      | 0 -> Int.compare a.boundary_vertices b.boundary_vertices
       | c -> c)
   | c -> c

@@ -67,7 +67,7 @@ let bisect ?config g =
   let order = Array.init n (fun i -> i) in
   Array.sort
     (fun a b ->
-      match compare fiedler.(a) fiedler.(b) with 0 -> compare a b | c -> c)
+      match Float.compare fiedler.(a) fiedler.(b) with 0 -> Int.compare a b | c -> c)
     order;
   let side = Array.make n 1 in
   for i = 0 to (n / 2) - 1 do

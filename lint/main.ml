@@ -1,0 +1,59 @@
+(* Standalone lint runner (bench-style): analyse OCaml sources with the
+   Gb_lint determinism & domain-safety rules.
+
+   Usage:
+     dune exec lint/main.exe -- [--json] [--rules] [paths...]
+     dune build @lint                      # lib bin bench test, fails on findings
+
+   Paths default to lib bin bench test. Directories are walked for
+   .ml/.mli files; explicit file arguments are linted whatever their
+   suffix. Exit codes follow the repo contract: 0 clean, 1 findings,
+   2 usage. *)
+
+module Lint = Gb_lint.Lint
+
+let default_paths = [ "lib"; "bin"; "bench"; "test" ]
+
+let usage () =
+  print_endline
+    "usage: main.exe [--json] [--rules] [paths...]\n\n\
+     Runs the gbisect determinism & domain-safety lint over OCaml sources\n\
+     (directories are searched for .ml/.mli; defaults: lib bin bench test).\n\n\
+     --json   machine-readable one-line JSON report on stdout\n\
+     --rules  print the rule catalogue and exit\n\n\
+     exit codes: 0 clean, 1 findings, 2 usage"
+
+let () =
+  let json = ref false and rules = ref false and paths = ref [] and bad = ref None in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--json" -> json := true
+        | "--rules" -> rules := true
+        | "--help" | "-h" ->
+            usage ();
+            exit 0
+        | _ when String.length arg > 0 && arg.[0] = '-' -> bad := Some arg
+        | _ -> paths := arg :: !paths)
+    Sys.argv;
+  (match !bad with
+  | Some flag ->
+      Printf.eprintf "gbisect-lint: unknown flag %s\n" flag;
+      usage ();
+      exit 2
+  | None -> ());
+  if !rules then begin
+    print_string (Lint.rules_doc ());
+    exit 0
+  end;
+  let paths = match List.rev !paths with [] -> default_paths | ps -> ps in
+  match Lint.lint_paths paths with
+  | Error msg ->
+      Printf.eprintf "gbisect-lint: %s\n" msg;
+      exit 2
+  | Ok report ->
+      if !json then print_endline (Lint.render_json report)
+      else print_string (Lint.render_human report);
+      Printf.eprintf "gbisect-lint: %s\n" (Lint.summary report);
+      exit (Lint.exit_code report)

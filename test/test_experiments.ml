@@ -143,7 +143,7 @@ let registry_tests =
     case "all experiment ids are unique" (fun () ->
         let ids = Registry.ids () in
         check_int "no duplicates" (List.length ids)
-          (List.length (List.sort_uniq compare ids)));
+          (List.length (List.sort_uniq String.compare ids)));
     case "find resolves every listed id" (fun () ->
         List.iter
           (fun id -> check_bool id true (Registry.find id <> None))

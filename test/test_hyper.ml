@@ -145,7 +145,7 @@ let expansion_properties =
         let pairs =
           List.filter_map
             (fun net ->
-              match List.sort_uniq compare net with
+              match List.sort_uniq Int.compare net with
               | [ a; b ] -> Some [ a; b ]
               | _ -> None)
             nets

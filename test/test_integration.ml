@@ -29,7 +29,8 @@ let solve_tests =
           all_algorithms);
     case "algorithm names are distinct" (fun () ->
         let names = List.map Gbisect.algorithm_name all_algorithms in
-        check_int "unique" (List.length names) (List.length (List.sort_uniq compare names)));
+        check_int "unique" (List.length names)
+          (List.length (List.sort_uniq String.compare names)));
     case "more starts never hurt (same base, prefix-nested candidates)" (fun () ->
         let g = Gbisect.Gnp.generate (Helpers.rng ()) ~n:60 ~p:0.1 in
         (* solve derives one base seed from the caller's stream and runs
@@ -152,8 +153,10 @@ let shape_tests =
         let g = Gbisect.Bregular.generate (Helpers.rng ())
             Gbisect.Bregular.{ two_n = 600; b = 8; d = 4 } in
         let time algorithm =
+          (* lint: allow no-wall-clock — this test asserts a real-time speed shape *)
           let t0 = Unix.gettimeofday () in
           ignore (Gbisect.solve ~algorithm ~starts:1 (Helpers.rng ()) g);
+          (* lint: allow no-wall-clock — this test asserts a real-time speed shape *)
           Unix.gettimeofday () -. t0
         in
         let t_kl = time `Kl and t_sa = time `Sa in

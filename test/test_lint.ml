@@ -1,0 +1,283 @@
+(* Tests for Gb_lint: the tokenizer's lexical corners, one positive and
+   one negative case per rule, pragma and allowlist semantics, and —
+   the check that keeps the whole PR honest — that the repo's own
+   sources lint clean. *)
+
+module Tokenizer = Gb_lint.Tokenizer
+module Rules = Gbisect.Lint_rules
+module Lint = Gbisect.Lint
+
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+let tokens src =
+  Array.to_list (Tokenizer.tokenize src).Tokenizer.tokens
+  |> List.map (fun p -> p.Tokenizer.tok)
+
+let comments src = (Tokenizer.tokenize src).Tokenizer.comments
+
+(* Findings for [src] pretended to live at [file] (default: library
+   code, where every rule applies). *)
+let findings ?(file = "lib/fixture/code.ml") src =
+  Rules.check_source ~file src
+
+let rules_of fs = List.map (fun f -> f.Rules.rule) fs
+
+let check_rules label expected fs =
+  Alcotest.(check (list string))
+    label
+    (List.sort String.compare expected)
+    (List.sort String.compare (rules_of fs))
+
+(* --- Tokenizer ------------------------------------------------------------- *)
+
+let tokenizer_tests =
+  [
+    case "identifiers, modules, numbers, symbols" (fun () ->
+        Alcotest.(check bool)
+          "tokens" true
+          (tokens "let x = Foo.bar 42"
+          = [
+              Tokenizer.Ident "let";
+              Tokenizer.Ident "x";
+              Tokenizer.Sym "=";
+              Tokenizer.Uident "Foo";
+              Tokenizer.Sym ".";
+              Tokenizer.Ident "bar";
+              Tokenizer.Number "42";
+            ]));
+    case "comments produce no tokens and are collected" (fun () ->
+        let src = "let a = 1\n(* Random.int inside a comment *)\nlet b = 2\n" in
+        check_bool "no Random token" true
+          (not (List.mem (Tokenizer.Uident "Random") (tokens src)));
+        match comments src with
+        | [ c ] ->
+            check_int "start line" 2 c.Tokenizer.c_start;
+            check_int "end line" 2 c.Tokenizer.c_end;
+            check_bool "text kept" true
+              (Helpers.contains c.Tokenizer.c_text "Random.int")
+        | cs -> Alcotest.failf "expected 1 comment, got %d" (List.length cs));
+    case "nested comments close at the right depth" (fun () ->
+        let src = "(* outer (* inner *) still outer *) let x = 1" in
+        check_bool "x survives" true (List.mem (Tokenizer.Ident "x") (tokens src));
+        check_int "one comment" 1 (List.length (comments src)));
+    case "a string inside a comment hides a close-comment" (fun () ->
+        (* Per the real lexer, a close-comment sequence inside a
+           commented string literal does not end the comment. *)
+        let src = "(* tricky \" *) \" end *) let y = 2" in
+        check_bool "y survives" true (List.mem (Tokenizer.Ident "y") (tokens src)));
+    case "string literals keep content, escapes protected" (fun () ->
+        match tokens {|let s = "a\"b *) c"|} with
+        | [ _; _; _; Tokenizer.Str s ] ->
+            check_bool "escaped quote inside" true (Helpers.contains s "b *) c")
+        | _ -> Alcotest.fail "expected one string token");
+    case "quoted strings have no escapes" (fun () ->
+        match tokens "let s = {id|raw \\ \" content|id}" with
+        | [ _; _; _; Tokenizer.Str s ] ->
+            Alcotest.(check string) "verbatim" {|raw \ " content|} s
+        | _ -> Alcotest.fail "expected one quoted-string token");
+    case "char literals versus type variables and primes" (fun () ->
+        check_bool "plain char" true
+          (List.mem (Tokenizer.Chr "a") (tokens "let c = 'a'"));
+        check_bool "escaped quote char" true
+          (List.mem (Tokenizer.Chr "\\'") (tokens "let c = '\\''"));
+        check_bool "newline escape" true
+          (List.mem (Tokenizer.Chr "\\n") (tokens "let c = '\\n'"));
+        (* 'a in a type is not a char literal; x' keeps its prime *)
+        check_bool "type variable" true
+          (not
+             (List.exists
+                (function Tokenizer.Chr _ -> true | _ -> false)
+                (tokens "type 'a t = 'a list")));
+        check_bool "prime suffix" true
+          (List.mem (Tokenizer.Ident "x'") (tokens "let x' = x")));
+    case "positions are 1-based lines" (fun () ->
+        let t = Tokenizer.tokenize "let a = 1\nlet b = 2\n" in
+        let lines =
+          Array.to_list t.Tokenizer.tokens
+          |> List.filter_map (fun p ->
+                 match p.Tokenizer.tok with
+                 | Tokenizer.Ident ("a" | "b") -> Some p.Tokenizer.line
+                 | _ -> None)
+        in
+        Alcotest.(check (list int)) "lines" [ 1; 2 ] lines);
+    case "tokenize never raises on unterminated input" (fun () ->
+        ignore (tokens "(* never closed");
+        ignore (tokens "let s = \"never closed");
+        ignore (tokens "let s = {|never closed"));
+  ]
+
+(* --- Rules: one positive and the telling negatives per rule ---------------- *)
+
+let rule_tests =
+  [
+    case "no-ambient-random fires on Random.*" (fun () ->
+        check_rules "positive" [ "no-ambient-random" ]
+          (findings "let x = Random.int 5");
+        check_rules "other module" [] (findings "let x = Rng.int rng 5"));
+    case "no-wall-clock fires on Sys.time and Unix.gettimeofday" (fun () ->
+        check_rules "sys" [ "no-wall-clock" ] (findings "let t = Sys.time ()");
+        check_rules "unix" [ "no-wall-clock" ]
+          (findings "let t = Unix.gettimeofday ()");
+        check_rules "clock is fine" [] (findings "let t = Clock.now ()"));
+    case "no-marshal fires on Marshal" (fun () ->
+        check_rules "positive" [ "no-marshal" ]
+          (findings "let s = Marshal.to_string x []"));
+    case "no-hashtbl-hash fires on Hashtbl.hash" (fun () ->
+        check_rules "positive" [ "no-hashtbl-hash" ]
+          (findings "let h = Hashtbl.hash x");
+        check_rules "find is fine" [] (findings "let v = Hashtbl.find t k"));
+    case "no-poly-compare: bare and Stdlib.compare, not typed ones" (fun () ->
+        check_rules "bare" [ "no-poly-compare" ]
+          (findings "let xs = List.sort compare xs");
+        check_rules "stdlib" [ "no-poly-compare" ]
+          (findings "let xs = List.sort Stdlib.compare xs");
+        check_rules "typed" []
+          (findings "let xs = List.sort Int.compare xs");
+        check_rules "labelled arg" []
+          (findings "let x = best ~compare:(fun a b -> Int.compare a b) xs");
+        check_rules "definition" [] (findings "let compare a b = Int.compare a b"));
+    case "no-float-format: lib-only, %% escapes, hex floats exempt" (fun () ->
+        check_rules "positive" [ "no-float-format" ]
+          (findings {|let s = Printf.sprintf "%.2f" x|});
+        check_rules "ints fine" [] (findings {|let s = Printf.sprintf "%d" x|});
+        check_rules "escaped percent" []
+          (findings {|let s = Printf.sprintf "100%%fun" ()|});
+        check_rules "hex float is exact" []
+          (findings {|let s = Printf.sprintf "%h" x|});
+        check_rules "not in executables" []
+          (findings ~file:"bench/main.ml" {|let s = Printf.sprintf "%.2f" x|}));
+    case "no-stdout-in-lib: lib-only" (fun () ->
+        check_rules "positive" [ "no-stdout-in-lib" ]
+          (findings {|let () = print_string "hi"|});
+        check_rules "stderr fine" []
+          (findings {|let () = Printf.eprintf "hi"|});
+        check_rules "executables may print" []
+          (findings ~file:"bin/cli.ml" {|let () = print_string "hi"|}));
+    case "no-exit-in-lib: lib-only" (fun () ->
+        check_rules "positive" [ "no-exit-in-lib" ] (findings "let () = exit 1");
+        check_rules "executables may exit" []
+          (findings ~file:"bin/cli.ml" "let () = exit 1"));
+    case "no-naked-mutable-global: top-level refs and tables" (fun () ->
+        check_rules "ref" [ "no-naked-mutable-global" ] (findings "let r = ref 0");
+        check_rules "hashtbl" [ "no-naked-mutable-global" ]
+          (findings "let t = Hashtbl.create 16");
+        check_rules "atomic fine" [] (findings "let r = Atomic.make 0");
+        check_rules "local ref fine" []
+          (findings "let f () =\n  let r = ref 0 in\n  !r");
+        check_rules "ref in type annotation fine" []
+          (findings "let k : int ref option Key.t = Key.make (fun () -> None)");
+        check_rules "ref under fun fine" []
+          (findings "let make = fun () -> ref 0"));
+    case "rules never fire inside comments or strings" (fun () ->
+        check_rules "comment" [] (findings "(* let x = Random.int 5 *) let a = 1");
+        check_rules "string" [] (findings {|let doc = "Random.int, Sys.time"|}));
+    case "mli interfaces are not scanned for impl-only rules" (fun () ->
+        (* value specs mention ref types freely *)
+        check_rules "mli ref" []
+          (findings ~file:"lib/x/thing.mli" "val cell : int ref"));
+  ]
+
+(* --- Pragmas and the allowlist --------------------------------------------- *)
+
+let pragma_tests =
+  [
+    case "a pragma with a reason suppresses the next line" (fun () ->
+        check_rules "suppressed" []
+          (findings
+             "(* lint: allow no-ambient-random — fixture exercises the pragma *)\n\
+              let x = Random.int 5"));
+    case "a pragma on the same line suppresses too" (fun () ->
+        check_rules "same line" []
+          (findings
+             "let x = Random.int 5 (* lint: allow no-ambient-random — inline *)"));
+    case "the reason is mandatory" (fun () ->
+        check_rules "malformed + still fires" [ "no-ambient-random"; "pragma" ]
+          (findings "(* lint: allow no-ambient-random *)\nlet x = Random.int 5"));
+    case "unknown rules are reported" (fun () ->
+        check_rules "unknown" [ "pragma" ]
+          (findings "(* lint: allow no-such-rule — why not *)\nlet x = 1"));
+    case "an unused pragma is reported" (fun () ->
+        check_rules "unused" [ "pragma" ]
+          (findings "(* lint: allow no-ambient-random — nothing here *)\nlet x = 1");
+        match findings "(* lint: allow no-ambient-random — nothing *)\nlet x = 1" with
+        | [ f ] -> check_bool "warning" true (f.Rules.severity = Rules.Warning)
+        | _ -> Alcotest.fail "expected exactly the unused-pragma finding");
+    case "a pragma only suppresses its own rule" (fun () ->
+        (* the mismatched pragma also shows up as unused *)
+        check_rules "wrong rule named" [ "no-wall-clock"; "pragma" ]
+          (findings
+             "(* lint: allow no-ambient-random — wrong rule *)\nlet t = Sys.time ()"));
+    case "allowlist: the owning module is exempt" (fun () ->
+        check_rules "prng may use Random" []
+          (findings ~file:"lib/prng/rng.ml" "let x = Random.int 5");
+        check_rules "clock may read the wall clock" []
+          (findings ~file:"lib/obs/clock.ml" "let source = Atomic.make Sys.time");
+        check_rules "others may not" [ "no-ambient-random" ]
+          (findings ~file:"lib/kl/kl.ml" "let x = Random.int 5"));
+    case "every allowlist rule name is real" (fun () ->
+        List.iter
+          (fun (_, rules) -> List.iter (fun r -> check_bool r true (Rules.known_rule r)) rules)
+          Rules.allowlist);
+  ]
+
+(* --- Driver and self-lint --------------------------------------------------- *)
+
+let repo_root () =
+  (* dune runs tests from _build/default/test; the checkout root is the
+     nearest ancestor holding .git. *)
+  let rec up d =
+    if Sys.file_exists (Filename.concat d ".git") then Some d
+    else
+      let parent = Filename.dirname d in
+      if parent = d then None else up parent
+  in
+  up (Sys.getcwd ())
+
+let driver_tests =
+  [
+    case "expand_paths errors on a missing path" (fun () ->
+        match Lint.expand_paths [ "no/such/path-xyzzy" ] with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected an error");
+    case "render_json parses and counts findings" (fun () ->
+        let report =
+          { Lint.files = [ "lib/a.ml" ];
+            findings = findings "let x = Random.int 5" }
+        in
+        let j = Gbisect.Obs.Json.of_string (Lint.render_json report) in
+        check_bool "files_scanned" true
+          (Gbisect.Obs.Json.member "files_scanned" j
+          = Some (Gbisect.Obs.Json.Int 1));
+        (match Gbisect.Obs.Json.member "findings" j with
+        | Some (Gbisect.Obs.Json.List [ _ ]) -> ()
+        | _ -> Alcotest.fail "expected one finding in JSON");
+        check_int "exit 1 on findings" 1 (Lint.exit_code report));
+    case "exit_code is 0 when clean" (fun () ->
+        check_int "clean" 0 (Lint.exit_code { Lint.files = []; findings = [] }));
+    case "the repo's own sources lint clean" (fun () ->
+        match repo_root () with
+        | None -> Alcotest.fail "could not locate the repo root from the test cwd"
+        | Some root ->
+            let paths =
+              List.map (Filename.concat root) [ "lib"; "bin"; "bench"; "test" ]
+            in
+            (match Lint.lint_paths paths with
+            | Error msg -> Alcotest.failf "lint_paths: %s" msg
+            | Ok report ->
+                check_bool "several files scanned" true
+                  (List.length report.Lint.files > 100);
+                if report.Lint.findings <> [] then
+                  Alcotest.failf "repo is not lint-clean:\n%s"
+                    (Lint.render_human report)));
+  ]
+
+let () =
+  Alcotest.run "lint"
+    [
+      ("tokenizer", tokenizer_tests);
+      ("rules", rule_tests);
+      ("pragmas", pragma_tests);
+      ("driver", driver_tests);
+    ]

@@ -7,6 +7,8 @@ module Json = Obs.Json
 module Metrics = Obs.Metrics
 module Trace = Obs.Trace
 module Telemetry = Obs.Telemetry
+module Clock = Obs.Clock
+module Pool = Gbisect.Pool
 module Classic = Gbisect.Classic
 module Kl = Gbisect.Kl
 module Rng = Gbisect.Rng
@@ -137,6 +139,67 @@ let metrics_tests =
                 Alcotest.(check (float 1e-6)) "histogram sum"
                   (float_of_int (2 * n))
                   s.Metrics.sum));
+    case "ambient installs are race-free under two-domain contention" (fun () ->
+        (* Companion to the mutable-global audit: every ambient
+           installation point (clock source, trace sink, telemetry
+           writer, --jobs) is an Atomic. One domain re-installs them in
+           a tight loop while the other reads and emits through them;
+           nothing may tear, crash, or deliver to a half-installed
+           writer, and the last install must win. *)
+        pristine (fun () ->
+            let jobs0 = Pool.jobs () in
+            Fun.protect
+              ~finally:(fun () ->
+                Pool.set_jobs jobs0;
+                (* lint: allow no-wall-clock — restores the default clock source after the hammer *)
+                Clock.set Sys.time)
+              (fun () ->
+                let n = 5_000 in
+                let record =
+                  {
+                    Telemetry.algorithm = "hammer";
+                    graph = "hammer";
+                    profile = "test";
+                    seed = None;
+                    start = 0;
+                    cut = 0;
+                    seconds = 0.;
+                    balanced = true;
+                    trajectory = [];
+                    metrics = [];
+                  }
+                in
+                let installer () =
+                  for i = 1 to n do
+                    Clock.set (fun () -> float_of_int i);
+                    Pool.set_jobs ((i mod 4) + 1);
+                    Telemetry.set_writer (Some ignore);
+                    Trace.set (Trace.of_writer ignore)
+                  done
+                in
+                let healthy = Atomic.make true in
+                let reader () =
+                  for _ = 1 to n do
+                    let t = Clock.now () in
+                    if not (Float.is_finite t && t >= 0.) then Atomic.set healthy false;
+                    if Pool.jobs () < 1 then Atomic.set healthy false;
+                    Telemetry.emit record;
+                    Trace.with_span "hammer" (fun () -> Trace.instant "tick")
+                  done
+                in
+                let other = Domain.spawn installer in
+                reader ();
+                Domain.join other;
+                check_bool "reads stayed sane" true (Atomic.get healthy);
+                check_bool "last jobs install wins" true
+                  (let j = Pool.jobs () in j >= 1 && j <= 4);
+                Alcotest.(check (float 0.)) "last clock install wins"
+                  (float_of_int n) (Clock.now ());
+                let seen = Atomic.make 0 in
+                Telemetry.set_writer (Some (fun _ -> Atomic.incr seen));
+                Telemetry.emit record;
+                check_int "final writer receives exactly one record" 1
+                  (Atomic.get seen))));
     case "snapshot_json parses back" (fun () ->
         pristine (fun () ->
             Metrics.set_enabled true;

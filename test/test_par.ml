@@ -23,6 +23,7 @@ let with_jobs n f =
    pinning the clock makes whole rendered tables byte-comparable. *)
 let with_constant_clock f =
   Obs.Trace.set_clock (fun () -> 0.);
+  (* lint: allow no-wall-clock — restores the default clock source after the pinned-clock scope *)
   Fun.protect ~finally:(fun () -> Obs.Trace.set_clock Sys.time) f
 
 (* --- Pool combinators ------------------------------------------------------ *)
@@ -54,7 +55,7 @@ let pool_tests =
         (* keys cycle 0,1,2,0,1,2,... — several indices tie on the
            minimum key 0; the sequential loop keeps the first *)
         let f i = (i mod 3, i) in
-        let compare (a, _) (b, _) = compare a b in
+        let compare (a, _) (b, _) = Int.compare a b in
         check_bool "lowest index" true (Pool.best_by pool ~compare f 10 = (0, 0));
         check_bool "single" true (Pool.best_by pool ~compare f 1 = (0, 0)));
     case "best_by rejects n < 1" (fun () ->
@@ -131,6 +132,23 @@ let rng_tests =
    rendered table and the telemetry records it emits. Records are
    normalised to schedule-independent fields and sorted, so sequential
    and parallel runs are comparable regardless of emission order. *)
+let compare_normalised (g1, a1, s1, st1, c1, b1, t1) (g2, a2, s2, st2, c2, b2, t2) =
+  let sample (la, va) (lb, vb) =
+    match String.compare la lb with 0 -> Float.compare va vb | c -> c
+  in
+  let cmps =
+    [
+      (fun () -> String.compare g1 g2);
+      (fun () -> String.compare a1 a2);
+      (fun () -> Option.compare Int.compare s1 s2);
+      (fun () -> Int.compare st1 st2);
+      (fun () -> Int.compare c1 c2);
+      (fun () -> Bool.compare b1 b2);
+      (fun () -> List.compare sample t1 t2);
+    ]
+  in
+  List.fold_left (fun acc cmp -> if acc <> 0 then acc else cmp ()) 0 cmps
+
 let run_table jobs id =
   let records = ref [] in
   let table =
@@ -155,7 +173,7 @@ let run_table jobs id =
           r.Telemetry.balanced,
           r.Telemetry.trajectory ))
       !records
-    |> List.sort compare
+    |> List.sort compare_normalised
   in
   (table, normalised)
 

@@ -199,8 +199,8 @@ let collection_tests =
         let r = Helpers.rng () in
         let a = Array.init 100 (fun i -> i) in
         let b = Rng.shuffle r a in
-        let sa = List.sort compare (Array.to_list a) in
-        let sb = List.sort compare (Array.to_list b) in
+        let sa = List.sort Int.compare (Array.to_list a) in
+        let sb = List.sort Int.compare (Array.to_list b) in
         Alcotest.(check (list int)) "same elements" sa sb);
     case "shuffle_in_place leaves length" (fun () ->
         let r = Helpers.rng () in
