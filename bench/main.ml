@@ -50,16 +50,12 @@ let usage () =
 
 let probe_graph id =
   let rng = Rng.create ~seed:(Rng.seed_of_string ("probe/" ^ id)) in
-  let gbreg two_n b d =
-    let params = Gbisect.Bregular.{ two_n; b; d } in
-    let params =
-      { params with Gbisect.Bregular.b = Gbisect.Bregular.nearest_feasible_b params }
-    in
-    Gbisect.Bregular.generate rng params
-  in
+  (* Model instances come through the fuzz corpus constructors
+     (Gb_check.Generators), so the bench probes and the fuzzer can
+     never drift apart on how a paper-model graph is built. *)
+  let gbreg two_n b d = Gbisect.Fuzz_generators.gbreg_instance rng ~two_n ~b ~d in
   let g2set avg =
-    Gbisect.Planted.generate rng
-      (Gbisect.Planted.params_for_average_degree ~two_n:500 ~avg_degree:avg ~bis:8)
+    Gbisect.Fuzz_generators.g2set_instance rng ~two_n:500 ~avg_degree:avg ~bis:8
   in
   match id with
   | "table1" | "grid" -> Gbisect.Classic.grid_of_side 22

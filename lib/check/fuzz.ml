@@ -1,0 +1,129 @@
+module Rng = Gb_prng.Rng
+module Csr = Gb_graph.Csr
+module Pool = Gb_par.Pool
+module Obs = Gb_obs
+
+let m_cases = Obs.Metrics.counter "fuzz.cases"
+let m_checks = Obs.Metrics.counter "fuzz.checks"
+let m_findings = Obs.Metrics.counter "fuzz.findings"
+let m_shrink_steps = Obs.Metrics.counter "fuzz.shrink_steps"
+
+type finding = {
+  case : Generators.case;
+  oracle : string;
+  message : string;
+  shrunk : Csr.t;
+  shrunk_message : string;
+  shrink_steps : int;
+}
+
+type report = {
+  base_seed : int;
+  runs : int;
+  checks : int;
+  findings : finding list;
+}
+
+let suite ~broken = if broken then Oracles.all @ [ Oracles.broken ] else Oracles.all
+
+(* One case through the whole suite: pure in the case seed, which is
+   what makes the pool fan-out and --replay exact. *)
+let check_seed ~oracles seed =
+  let case = Generators.generate ~seed in
+  let applied =
+    List.length (List.filter (fun o -> o.Oracles.applies case.Generators.graph) oracles)
+  in
+  let findings =
+    List.filter_map
+      (fun o ->
+        match Oracles.run o ~seed case.Generators.graph with
+        | Ok () -> None
+        | Error message ->
+            let check g = Oracles.run o ~seed g in
+            let shrunk, shrink_steps = Shrink.minimize ~check case.Generators.graph in
+            let shrunk_message =
+              match check shrunk with Error e -> e | Ok () -> message
+            in
+            Some
+              {
+                case;
+                oracle = o.Oracles.name;
+                message;
+                shrunk;
+                shrunk_message;
+                shrink_steps;
+              })
+      oracles
+  in
+  (findings, applied)
+
+let finish ~base_seed ~runs results =
+  let checks = Array.fold_left (fun acc (_, a) -> acc + a) 0 results in
+  let findings = List.concat_map fst (Array.to_list results) in
+  Obs.Metrics.add m_cases runs;
+  Obs.Metrics.add m_checks checks;
+  Obs.Metrics.add m_findings (List.length findings);
+  List.iter (fun f -> Obs.Metrics.add m_shrink_steps f.shrink_steps) findings;
+  { base_seed; runs; checks; findings }
+
+let run ?(broken = false) ~runs ~seed () =
+  if runs < 1 then invalid_arg "Fuzz.run: runs must be >= 1";
+  let oracles = suite ~broken in
+  let results =
+    Pool.init (Pool.current ()) runs (fun i ->
+        check_seed ~oracles (Rng.substream_seed ~base:seed i))
+  in
+  finish ~base_seed:seed ~runs results
+
+let replay ?(broken = false) ~seed () =
+  let oracles = suite ~broken in
+  finish ~base_seed:seed ~runs:1 [| check_seed ~oracles seed |]
+
+let render r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "fuzz: %d case(s) from seed %d, %d oracle checks, %d finding(s)\n"
+       r.runs r.base_seed r.checks (List.length r.findings));
+  List.iter
+    (fun f ->
+      Buffer.add_string b
+        (Printf.sprintf "FAIL %s on %s: %s\n" f.oracle
+           (Generators.describe f.case)
+           f.message);
+      Buffer.add_string b
+        (Printf.sprintf "  shrunk (%d deletions) to %s\n" f.shrink_steps
+           (Generators.edges_repr f.shrunk));
+      Buffer.add_string b (Printf.sprintf "  shrunk failure: %s\n" f.shrunk_message);
+      Buffer.add_string b
+        (Printf.sprintf "  replay: gbisect fuzz --replay %d\n" f.case.Generators.seed))
+    r.findings;
+  Buffer.contents b
+
+let to_json r =
+  let open Obs.Json in
+  Obj
+    [
+      ("base_seed", Int r.base_seed);
+      ("runs", Int r.runs);
+      ("checks", Int r.checks);
+      ( "findings",
+        List
+          (List.map
+             (fun f ->
+               Obj
+                 [
+                   ("seed", Int f.case.Generators.seed);
+                   ("family", String f.case.Generators.family);
+                   ("oracle", String f.oracle);
+                   ("message", String f.message);
+                   ("graph", String (Generators.edges_repr f.case.Generators.graph));
+                   ("shrunk", String (Generators.edges_repr f.shrunk));
+                   ("shrunk_message", String f.shrunk_message);
+                   ("shrink_steps", Int f.shrink_steps);
+                   ( "replay",
+                     String
+                       (Printf.sprintf "gbisect fuzz --replay %d"
+                          f.case.Generators.seed) );
+                 ])
+             r.findings) );
+    ]

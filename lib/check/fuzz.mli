@@ -1,0 +1,47 @@
+(** The fuzzing driver behind [gbisect fuzz].
+
+    A run draws [runs] case seeds from a base seed (one
+    {!Gb_prng.Rng.substream_seed} per case index), generates each case,
+    applies every oracle, and shrinks any failure to a local minimum.
+    Cases are independent and every random stream is derived from the
+    case seed alone, so the run fans out on the ambient
+    {!Gb_par.Pool} ([--jobs]) with bit-identical results at any job
+    count, and [replay ~seed] reproduces a reported finding
+    byte-for-byte on its own.
+
+    Counters (under [Gb_obs.Metrics], when enabled): [fuzz.cases],
+    [fuzz.checks] (oracle applications inside their domain),
+    [fuzz.findings], [fuzz.shrink_steps]. *)
+
+type finding = {
+  case : Generators.case;  (** The original failing case. *)
+  oracle : string;
+  message : string;  (** Failure on the original graph. *)
+  shrunk : Gb_graph.Csr.t;  (** Locally minimal failing graph. *)
+  shrunk_message : string;  (** Failure on the shrunk graph. *)
+  shrink_steps : int;
+}
+
+type report = {
+  base_seed : int;
+  runs : int;
+  checks : int;  (** Oracle applications whose domain gate passed. *)
+  findings : finding list;  (** In case order, then oracle order. *)
+}
+
+val run : ?broken:bool -> runs:int -> seed:int -> unit -> report
+(** Fuzz [runs] cases from [seed]. [~broken:true] appends the
+    {!Oracles.broken} fixture to the suite (CI fault injection: the
+    report must then contain findings). *)
+
+val replay : ?broken:bool -> seed:int -> unit -> report
+(** Re-run the single case with replay seed [seed] through the same
+    oracle suite. For any finding reported by {!run}, replaying its
+    [case.seed] yields an identical finding. *)
+
+val render : report -> string
+(** Human-readable multi-line report, including a
+    [gbisect fuzz --replay <seed>] repro line per finding. *)
+
+val to_json : report -> Gb_obs.Json.t
+(** Machine-readable report (the [--json] output). *)

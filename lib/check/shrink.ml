@@ -1,0 +1,46 @@
+module Csr = Gb_graph.Csr
+module Subgraph = Gb_graph.Subgraph
+
+let fails check g = match check g with Error _ -> true | Ok () -> false
+
+let delete_vertex g v =
+  let keep =
+    Array.of_list (List.filter (fun u -> u <> v) (List.init (Csr.n_vertices g) Fun.id))
+  in
+  (Subgraph.induced g keep).Subgraph.graph
+
+let delete_edge g i =
+  let n = Csr.n_vertices g in
+  let edges = List.filteri (fun j _ -> j <> i) (Csr.edges g) in
+  let vw = Array.init n (Csr.vertex_weight g) in
+  Csr.of_edges ~vertex_weights:vw ~n edges
+
+(* First single deletion that keeps the failure alive, or None at a
+   local minimum. Vertices before edges: a vertex deletion removes
+   more at once, so trying it first converges faster. *)
+let step check g =
+  let rec try_vertices v =
+    if v < 0 then None
+    else
+      let candidate = delete_vertex g v in
+      if fails check candidate then Some candidate else try_vertices (v - 1)
+  in
+  let rec try_edges i =
+    if i < 0 then None
+    else
+      let candidate = delete_edge g i in
+      if fails check candidate then Some candidate else try_edges (i - 1)
+  in
+  match try_vertices (Csr.n_vertices g - 1) with
+  | Some _ as r -> r
+  | None -> try_edges (Csr.n_edges g - 1)
+
+let minimize ~check g =
+  if not (fails check g) then (g, 0)
+  else
+    let rec go g steps =
+      match step check g with
+      | None -> (g, steps)
+      | Some smaller -> go smaller (steps + 1)
+    in
+    go g 0

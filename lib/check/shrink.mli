@@ -1,0 +1,18 @@
+(** Greedy counterexample shrinking.
+
+    Given a graph on which a check fails, repeatedly try deleting one
+    vertex (with its incident edges) or one edge, keeping any deletion
+    after which the check still fails, until no single deletion
+    preserves the failure — a local minimum. Deterministic: candidates
+    are tried in a fixed order (highest vertex id first, then last edge
+    first), and the check itself must be a pure function of the graph
+    (the fuzz harness re-derives each oracle's RNG from the replay
+    seed, so it is). *)
+
+val minimize :
+  check:(Gb_graph.Csr.t -> (unit, string) result) ->
+  Gb_graph.Csr.t ->
+  Gb_graph.Csr.t * int
+(** [minimize ~check g] with [check g = Error _] returns the locally
+    minimal failing graph and the number of deletions performed. If
+    [check g = Ok ()] the graph is returned unchanged with [0]. *)

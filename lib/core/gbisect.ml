@@ -44,6 +44,10 @@ module Pool = Gb_par.Pool
 module Store = Gb_store.Store
 module Lint = Gb_lint.Lint
 module Lint_rules = Gb_lint.Rules
+module Fuzz = Gb_check.Fuzz
+module Fuzz_generators = Gb_check.Generators
+module Fuzz_oracles = Gb_check.Oracles
+module Fuzz_shrink = Gb_check.Shrink
 module Profile = Gb_experiments.Profile
 module Runner = Gb_experiments.Runner
 module Registry = Gb_experiments.Registry

@@ -109,6 +109,28 @@ module Lint = Gb_lint.Lint
 module Lint_rules = Gb_lint.Rules
 (** The individual lint rules, pragmas, and the config allowlist. *)
 
+(** {1 Property fuzzing} *)
+
+module Fuzz = Gb_check.Fuzz
+(** The seeded differential fuzzer behind [gbisect fuzz]: generate
+    adversarial graphs, cross-check every solver and data structure
+    against reference oracles, and shrink violations to tiny
+    replayable counterexamples — the correctness backstop the lint
+    layer is for determinism. *)
+
+module Fuzz_generators = Gb_check.Generators
+(** The fuzzer's graph corpus (paper models at miniature scale,
+    classics, degenerate shapes), each case a pure function of its
+    replay seed. *)
+
+module Fuzz_oracles = Gb_check.Oracles
+(** The oracle suite: solver cuts vs naive recomputation and the exact
+    optimum, KL/FM gain accounting, compaction cut correspondence,
+    matching validity, gain-bucket model checking, codec round-trips. *)
+
+module Fuzz_shrink = Gb_check.Shrink
+(** Greedy vertex/edge-deletion counterexample minimisation. *)
+
 (** {1 Experiment harness (paper §VI)} *)
 
 module Profile = Gb_experiments.Profile

@@ -109,6 +109,16 @@ let run_once_record ?(start = 0) ?collect profile rng algorithm g =
     else (run_algorithm profile rng algorithm g, [])
   in
   let seconds = Obs.Clock.now () -. t0 in
+  (* Always-on oracle (O(m), negligible next to any trial): the
+     result's cached cut, counts and balance must survive a
+     from-scratch recompute. Catches stale incremental accounting at
+     the moment it happens rather than in a skewed table later. *)
+  (match Gb_check.Oracles.verify_run g bisection with
+  | Ok () -> ()
+  | Error msg ->
+      failwith
+        (Printf.sprintf "runner: %s result failed the cut oracle: %s"
+           (name algorithm) msg));
   let cut = Bisection.cut bisection in
   let balanced = Bisection.is_balanced bisection in
   Obs.Trace.finish span "runner.trial"

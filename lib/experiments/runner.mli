@@ -47,7 +47,12 @@ val run_once_record :
     stats. [start] is the trial index recorded in the record.
     [collect] forces trajectory collection on (or off); by default the
     trajectory is collected only when a telemetry writer is installed,
-    so uninstrumented runs pay nothing for it. *)
+    so uninstrumented runs pay nothing for it.
+
+    Every result passes {!Gb_check.Oracles.verify_run} before it is
+    recorded: the bisection's cached cut, side counts and balance flag
+    are recomputed from scratch and a disagreement raises [Failure]
+    (exit 1 through the CLI) instead of contaminating a table. *)
 
 val best_of_starts : Profile.t -> Gb_prng.Rng.t -> algorithm -> Gb_graph.Csr.t -> run
 (** Best cut over [profile.starts] runs; seconds are summed. Each

@@ -98,8 +98,17 @@ let solve_dp lengths target =
   in
   (dp.(target), choices)
 
+(* The "every split cycle costs exactly 2" argument (and the single-arc
+   optimality it rests on) is a unit-edge-weight fact; on weighted
+   cycles an optimal side may take several arcs through cheap edges.
+   Guard the documented domain instead of silently under-counting. *)
+let check_unit_edges g =
+  if Csr.total_edge_weight g <> Csr.n_edges g then
+    invalid_arg "Cycles: edge weights must all be 1 (width counts cut edges)"
+
 let bisection_width g =
   if not (is_two_regular g) then invalid_arg "Cycles: graph is not 2-regular";
+  check_unit_edges g;
   let n = Csr.n_vertices g in
   if n = 0 then 0
   else begin
@@ -110,6 +119,7 @@ let bisection_width g =
 
 let best_bisection g =
   if not (is_two_regular g) then invalid_arg "Cycles: graph is not 2-regular";
+  check_unit_edges g;
   let n = Csr.n_vertices g in
   let side = Array.make n 1 in
   if n > 0 then begin

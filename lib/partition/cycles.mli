@@ -28,7 +28,9 @@ val cycle_lengths : Gb_graph.Csr.t -> int list
 
 val bisection_width : Gb_graph.Csr.t -> int
 (** The exact minimum cut over balanced bisections: [2 * s*].
-    @raise Invalid_argument if the graph is not a cycle collection. *)
+    @raise Invalid_argument if the graph is not a cycle collection, or
+    has a non-unit edge weight (the 2-cut-edges-per-split argument is a
+    unit-weight fact; weighted collections are outside the domain). *)
 
 val best_bisection : Gb_graph.Csr.t -> Bisection.t
 (** A balanced bisection achieving {!bisection_width}: whole cycles are

@@ -74,13 +74,13 @@ let backtrack_split acc options next x =
 
 (* Option table of a child with dp table [dc] (indexed by the count on
    the child's own side): contribute t to the parent's side either
-   aligned (cost dc.(t)) or flipped (cost dc.(size - t) + 1 for the
-   severed tree edge). *)
-let child_options dc =
+   aligned (cost dc.(t)) or flipped (cost dc.(size - t) + w for the
+   severed tree edge of weight w). *)
+let child_options ~w dc =
   let size = Array.length dc - 1 in
   Array.init (size + 1) (fun t ->
       let aligned = dc.(t) in
-      let flipped = if dc.(size - t) < inf then dc.(size - t) + 1 else inf in
+      let flipped = if dc.(size - t) < inf then dc.(size - t) + w else inf in
       min aligned flipped)
 
 let children_of g rooted v =
@@ -98,7 +98,8 @@ let component_tables g rooted =
     let v = order.(i) in
     let table = ref [| inf; 0 |] in
     List.iter
-      (fun u -> table := knapsack !table (child_options dp.(u)))
+      (fun u ->
+        table := knapsack !table (child_options ~w:(Csr.edge_weight g v u) dp.(u)))
       (children_of g rooted v);
     dp.(v) <- !table
   done;
@@ -149,7 +150,7 @@ let rec assign g rooted dp side v k v_side =
         let acc =
           match acc_list with [] -> [| inf; 0 |] | (_, _, next, _) :: _ -> next
         in
-        let options = child_options dp.(c) in
+        let options = child_options ~w:(Csr.edge_weight g v c) dp.(c) in
         (acc, options, knapsack acc options, c) :: acc_list)
       [] children
   in
@@ -159,8 +160,9 @@ let rec assign g rooted dp side v k v_side =
       let t = backtrack_split acc options next !remaining in
       let dc = dp.(c) in
       let csize = Array.length dc - 1 in
+      let w = Csr.edge_weight g v c in
       let aligned_cost = dc.(t) in
-      let flipped_cost = if dc.(csize - t) < inf then dc.(csize - t) + 1 else inf in
+      let flipped_cost = if dc.(csize - t) < inf then dc.(csize - t) + w else inf in
       if aligned_cost <= flipped_cost then assign g rooted dp side c t v_side
       else assign g rooted dp side c (csize - t) (1 - v_side);
       remaining := !remaining - t)

@@ -9,8 +9,10 @@
     on v's own side],
 
     combining a child [c] either on [v]'s side (merge at matching
-    counts) or on the other side (add 1 for the tree edge and flip the
-    child's table — the child's "own side" becomes the far side).
+    counts) or on the other side (add the tree edge's weight and flip
+    the child's table — the child's "own side" becomes the far side).
+    Edge weights are respected (contracted forests cost their true
+    weighted cut); balance is by vertex count.
     O(n²) time and O(n · height) space — comfortably exact at the
     paper's 4095-vertex trees, giving the tree tables a true optimum
     column instead of folklore.

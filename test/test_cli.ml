@@ -1,0 +1,164 @@
+(* Golden exit-code and stderr contract tests for the gbisect CLI:
+   0 = success, 1 = runtime failure or findings (exactly one
+   "gbisect:" diagnostic line on stderr), 2 = usage error. The
+   binary is a declared dune dependency of this test. *)
+
+let exe =
+  (* dune runtest executes from the test build directory (the binary
+     is a sibling artefact); dune exec runs from the project root. *)
+  let candidates =
+    [ "../bin/gbisect_cli.exe"; "_build/default/bin/gbisect_cli.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> Filename.concat (Sys.getcwd ()) p
+  | None -> Filename.concat (Sys.getcwd ()) (List.hd candidates)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+(* Run the CLI with [args]; return (exit code, stdout, stderr). *)
+let run_cli args =
+  let out = Filename.temp_file "gbisect_out" ".txt" in
+  let err = Filename.temp_file "gbisect_err" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove out;
+      Sys.remove err)
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s > %s 2> %s" (Filename.quote exe)
+          (String.concat " " (List.map Filename.quote args))
+          (Filename.quote out) (Filename.quote err)
+      in
+      let code = Sys.command cmd in
+      (code, read_file out, read_file err))
+
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+let contains = Helpers.contains
+
+let gbisect_lines s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.length l >= 8 && String.sub l 0 8 = "gbisect:")
+
+(* A tiny valid edge-list graph file (header "n m", then "u v" lines). *)
+let with_graph_file f =
+  let path = Filename.temp_file "gbisect_graph" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path "6 7\n0 1\n1 2\n2 0\n3 4\n4 5\n5 3\n0 3\n";
+      f path)
+
+let fuzz_tests =
+  [
+    case "clean run exits 0 with silent stderr" (fun () ->
+        let code, out, err = run_cli [ "fuzz"; "--runs"; "25"; "--seed"; "1" ] in
+        check_int "exit" 0 code;
+        check_bool "report on stdout" true (contains out "0 finding(s)");
+        Alcotest.(check string) "stderr" "" err);
+    case "--broken-oracle exits 1 with one gbisect: line" (fun () ->
+        let code, out, err =
+          run_cli [ "fuzz"; "--runs"; "15"; "--seed"; "5"; "--broken-oracle" ]
+        in
+        check_int "exit" 1 code;
+        check_bool "counterexample printed" true (contains out "--replay");
+        check_int "one diagnostic line" 1 (List.length (gbisect_lines err));
+        check_bool "diagnostic names fuzz" true (contains err "gbisect: fuzz:"));
+    case "--runs 0 is a usage error (exit 2)" (fun () ->
+        let code, _, err = run_cli [ "fuzz"; "--runs"; "0" ] in
+        check_int "exit" 2 code;
+        check_bool "diagnosed" true (contains err "--runs"));
+    case "unknown flag is a usage error (exit 2)" (fun () ->
+        let code, _, _ = run_cli [ "fuzz"; "--no-such-flag" ] in
+        check_int "exit" 2 code);
+    case "--replay --json output is byte-identical across runs" (fun () ->
+        let args = [ "fuzz"; "--replay"; "12345"; "--json" ] in
+        let c1, out1, _ = run_cli args in
+        let c2, out2, _ = run_cli args in
+        check_int "exit a" 0 c1;
+        check_int "exit b" 0 c2;
+        Alcotest.(check string) "stdout identical" out1 out2);
+    case "--jobs does not change the JSON report" (fun () ->
+        let base = [ "fuzz"; "--runs"; "12"; "--seed"; "3"; "--json" ] in
+        let c1, out1, _ = run_cli (base @ [ "--jobs"; "1" ]) in
+        let c2, out2, _ = run_cli (base @ [ "--jobs"; "4" ]) in
+        check_int "exit a" 0 c1;
+        check_int "exit b" 0 c2;
+        Alcotest.(check string) "stdout identical" out1 out2);
+  ]
+
+let solve_tests =
+  [
+    case "solve on a valid file exits 0 and reports the cut" (fun () ->
+        with_graph_file (fun path ->
+            let code, out, err =
+              run_cli [ "solve"; path; "-a"; "kl"; "--seed"; "7" ]
+            in
+            check_int "exit" 0 code;
+            check_bool "cut reported" true (contains out "cut ");
+            Alcotest.(check string) "stderr" "" err));
+    case "solve on a missing file is a usage error (exit 2)" (fun () ->
+        let code, _, _ = run_cli [ "solve"; "/nonexistent/graph.txt" ] in
+        check_int "exit" 2 code);
+    case "solve on a malformed file exits 1 with one gbisect: line" (fun () ->
+        let path = Filename.temp_file "gbisect_bad" ".txt" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            write_file path "this is not a graph\n";
+            let code, _, err = run_cli [ "solve"; path ] in
+            check_int "exit" 1 code;
+            check_int "one diagnostic line" 1 (List.length (gbisect_lines err))));
+    case "solve with an unknown algorithm is a usage error (exit 2)" (fun () ->
+        with_graph_file (fun path ->
+            let code, _, _ = run_cli [ "solve"; path; "-a"; "bogus" ] in
+            check_int "exit" 2 code));
+  ]
+
+let lint_tests =
+  [
+    case "clean file exits 0 and summarises on stderr" (fun () ->
+        let path = Filename.temp_file "gbisect_clean" ".ml" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            write_file path "let add a b = a + b\n";
+            let code, _, err = run_cli [ "lint"; path ] in
+            check_int "exit" 0 code;
+            check_int "one diagnostic line" 1 (List.length (gbisect_lines err));
+            check_bool "summary" true (contains err "gbisect: lint:")));
+    case "file with ambient randomness exits 1" (fun () ->
+        let dir = Filename.temp_file "gbisect_lintdir" "" in
+        Sys.remove dir;
+        Sys.mkdir dir 0o755;
+        let path = Filename.concat dir "lib_violation.ml" in
+        Fun.protect
+          ~finally:(fun () ->
+            Sys.remove path;
+            Sys.rmdir dir)
+          (fun () ->
+            write_file path "let roll () = Random.int 6\n";
+            let code, out, err = run_cli [ "lint"; path ] in
+            check_int "exit" 1 code;
+            check_bool "rule named" true (contains out "no-ambient-random");
+            check_int "one diagnostic line" 1 (List.length (gbisect_lines err))));
+    case "missing path is a usage error (exit 2)" (fun () ->
+        let code, _, _ = run_cli [ "lint"; "/nonexistent/dir" ] in
+        check_int "exit" 2 code);
+  ]
+
+let () =
+  if not (Sys.file_exists exe) then (
+    Printf.eprintf "test_cli: binary not found at %s\n" exe;
+    exit 1);
+  Alcotest.run "cli"
+    [ ("fuzz", fuzz_tests); ("solve", solve_tests); ("lint", lint_tests) ]

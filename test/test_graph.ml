@@ -592,6 +592,64 @@ let matching_property_tests =
              m.Matching.mate));
   ]
 
+(* Multigraph inputs: the edge list deliberately repeats edges with
+   different weights; the CSR builder merges them (weights summed) and
+   both matching policies must keep every invariant on the merged
+   graph. Generated through the fuzz corpus so the cases match what
+   `gbisect fuzz` throws at the library. *)
+let gen_fuzzed_multigraph =
+  let open QCheck2.Gen in
+  let* seed = int_range 0 1_000_000 in
+  let r = Gbisect.Rng.create ~seed in
+  let n = 2 + Gbisect.Rng.int r 11 in
+  let edges = ref [] in
+  for _ = 1 to Gbisect.Rng.int r (3 * n) + 1 do
+    let u = Gbisect.Rng.int r n and v = Gbisect.Rng.int r n in
+    if u <> v then begin
+      let u, v = if u < v then (u, v) else (v, u) in
+      edges := (u, v, 1 + Gbisect.Rng.int r 4) :: !edges;
+      if Gbisect.Rng.bernoulli r 0.5 then
+        edges := (u, v, 1 + Gbisect.Rng.int r 4) :: !edges
+    end
+  done;
+  return (Graph.of_edges ~n !edges)
+
+let matching_consistent g (m : Matching.t) =
+  (* mate/pairs consistency: pairs normalised, disjoint, real edges,
+     and exactly the non-negative entries of the mate array. *)
+  let n = Graph.n_vertices g in
+  let seen = Array.make n false in
+  List.for_all
+    (fun (u, v) ->
+      let fresh = (not seen.(u)) && not seen.(v) in
+      seen.(u) <- true;
+      seen.(v) <- true;
+      u < v && fresh && Graph.mem_edge g u v
+      && m.Matching.mate.(u) = v
+      && m.Matching.mate.(v) = u)
+    m.Matching.pairs
+  && Array.for_all Fun.id
+       (Array.init n (fun v -> seen.(v) = (m.Matching.mate.(v) >= 0)))
+  && List.length m.Matching.pairs = Matching.size m
+
+let matching_multigraph_tests =
+  [
+    Helpers.qtest "random_maximal: mate/pairs consistent on multigraphs"
+      gen_fuzzed_multigraph (fun g ->
+        matching_consistent g (Matching.random_maximal (Helpers.rng ()) g));
+    Helpers.qtest "random_maximal: maximal and disjoint on multigraphs"
+      gen_fuzzed_multigraph (fun g ->
+        let m = Matching.random_maximal (Helpers.rng ()) g in
+        Matching.is_valid g m && Matching.is_maximal g m);
+    Helpers.qtest "heavy_edge: mate/pairs consistent on multigraphs"
+      gen_fuzzed_multigraph (fun g ->
+        matching_consistent g (Matching.heavy_edge (Helpers.rng ()) g));
+    Helpers.qtest "heavy_edge: maximal and disjoint on multigraphs"
+      gen_fuzzed_multigraph (fun g ->
+        let m = Matching.heavy_edge (Helpers.rng ()) g in
+        Matching.is_valid g m && Matching.is_maximal g m);
+  ]
+
 (* --- Contraction ------------------------------------------------------------ *)
 
 let contraction_tests =
@@ -767,6 +825,7 @@ let () =
       ("io", io_tests);
       ("matching", matching_tests);
       ("matching properties", matching_property_tests);
+      ("matching multigraphs", matching_multigraph_tests);
       ("contraction", contraction_tests);
       ("contraction properties", contraction_property_tests);
     ]

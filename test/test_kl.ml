@@ -119,6 +119,83 @@ let bucket_tests =
         done);
   ]
 
+(* --- bucket stress: full trace vs a naive sorted-list model --------------- *)
+
+(* The model keeps present vertices most-recent-first. The bucket
+   structure's contract: pop_max returns the most recently inserted
+   vertex among those of maximal gain (LIFO buckets), update to the
+   SAME gain preserves position, update to a new gain makes the vertex
+   most recent. iter_desc is the stable sort of the recency list by
+   descending gain. *)
+let bucket_stress_tests =
+  let run_trace seed =
+    let r = Rng.create ~seed in
+    let capacity = 2 + Rng.int r 30 in
+    let range = 1 + Rng.int r 15 in
+    let b = Gain_buckets.create ~capacity ~range in
+    let model = ref [] in
+    let model_max () = List.fold_left (fun acc (_, g) -> max acc g) min_int !model in
+    let random_gain () = Rng.int_in r (-range) range in
+    for step = 1 to 400 do
+      let present = !model and absent =
+        List.filter (fun v -> not (List.mem_assoc v !model)) (List.init capacity Fun.id)
+      in
+      (match Rng.int r 9 with
+      | (0 | 1 | 2) when absent <> [] ->
+          let v = Rng.pick_list r absent in
+          let g = random_gain () in
+          Gain_buckets.insert b v g;
+          model := (v, g) :: !model
+      | 3 when present <> [] ->
+          let v, _ = Rng.pick_list r present in
+          Gain_buckets.remove b v;
+          model := List.remove_assoc v !model
+      | (4 | 5) when present <> [] ->
+          let v, old = Rng.pick_list r present in
+          (* half the updates re-state the current gain: a positional
+             no-op that must NOT reset the vertex's recency *)
+          let g = if Rng.bool r then old else random_gain () in
+          Gain_buckets.update b v g;
+          if g <> old then model := (v, g) :: List.remove_assoc v !model
+      | 6 ->
+          let popped = Gain_buckets.pop_max b in
+          (match (popped, !model) with
+          | None, [] -> ()
+          | None, _ -> Alcotest.fail "pop_max None on non-empty queue"
+          | Some _, [] -> Alcotest.fail "pop_max Some on empty queue"
+          | Some (v, g), _ ->
+              let m = model_max () in
+              let expect_v = fst (List.find (fun (_, gx) -> gx = m) !model) in
+              check_int (Printf.sprintf "step %d: pop gain" step) m g;
+              check_int (Printf.sprintf "step %d: pop LIFO vertex" step) expect_v v;
+              model := List.remove_assoc v !model)
+      | 7 when present <> [] ->
+          let v, g = Rng.pick_list r present in
+          check_int (Printf.sprintf "step %d: gain_of" step) g (Gain_buckets.gain_of b v)
+      | _ -> ());
+      check_int (Printf.sprintf "step %d: cardinal" step) (List.length !model)
+        (Gain_buckets.cardinal b);
+      let expected_max = if !model = [] then None else Some (model_max ()) in
+      Alcotest.(check (option int))
+        (Printf.sprintf "step %d: max_gain" step)
+        expected_max (Gain_buckets.max_gain b)
+    done;
+    (* Final drain order = stable sort of the recency list by gain. *)
+    let visited = ref [] in
+    Gain_buckets.iter_desc b ~f:(fun v g ->
+        visited := (v, g) :: !visited;
+        `Continue);
+    let expected =
+      List.stable_sort (fun (_, g1) (_, g2) -> Int.compare g2 g1) !model
+    in
+    Alcotest.(check (list (pair int int)))
+      "iter_desc = stable sort by descending gain" expected (List.rev !visited)
+  in
+  [
+    case "random traces match the sorted-list model (LIFO ties)" (fun () ->
+        List.iter run_trace [ 1; 7; 42; 1989; 424242 ]);
+  ]
+
 (* --- KL --------------------------------------------------------------------- *)
 
 let kl_pass_properties =
@@ -331,6 +408,7 @@ let () =
   Alcotest.run "kl"
     [
       ("gain buckets", bucket_tests);
+      ("bucket stress", bucket_stress_tests);
       ("kl pass properties", kl_pass_properties);
       ("kl", kl_tests);
       ("fm", fm_tests);

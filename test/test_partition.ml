@@ -283,6 +283,72 @@ let exact_property_tests =
         Exact.bisection_width g = Exact.bisection_width relabeled);
   ]
 
+(* --- brute force: exhaustive enumeration on tiny graphs ------------------- *)
+
+(* The ground-truth oracle beneath the oracles: enumerate every
+   count-balanced side assignment of a graph with <= 10 vertices
+   (vertex 0 pinned to side 0 — the cut is mirror-symmetric) and take
+   the minimum weighted cut. Exact.bisection_width and, on forests,
+   Tree_exact must agree with it. *)
+let enumerated_width g =
+  let n = Graph.n_vertices g in
+  assert (n >= 1 && n <= 10);
+  let side = Array.make n 0 in
+  let best = ref max_int in
+  for mask = 0 to (1 lsl (n - 1)) - 1 do
+    let ones = ref 0 in
+    for v = 1 to n - 1 do
+      let s = (mask lsr (v - 1)) land 1 in
+      side.(v) <- s;
+      ones := !ones + s
+    done;
+    if !ones = n / 2 || !ones = (n + 1) / 2 then begin
+      let cut = Bisection.compute_cut g side in
+      if cut < !best then best := cut
+    end
+  done;
+  !best
+
+let is_forest g =
+  let _, c = Gbisect.Traverse.components g in
+  Graph.n_edges g = Graph.n_vertices g - c
+
+let gen_forest ~max_n =
+  let open QCheck2.Gen in
+  let* n = int_range 2 max_n in
+  let* seed = int_range 0 1_000_000 in
+  let r = Rng.create ~seed in
+  (* random forest: each vertex > 0 attaches to an earlier vertex with
+     probability 0.8, with a random weight, so some graphs are trees
+     and some have several components *)
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    if Rng.bernoulli r 0.8 then
+      edges := (Rng.int r v, v, 1 + Rng.int r 4) :: !edges
+  done;
+  return (Graph.of_edges ~n !edges)
+
+let brute_force_tests =
+  [
+    Helpers.qtest ~count:120 "branch-and-bound equals exhaustive enumeration"
+      (Helpers.gen_graph ~min_n:2 ~max_n:10 ~p:0.35 ()) (fun g ->
+        Exact.bisection_width g = enumerated_width g);
+    Helpers.qtest ~count:60 "enumeration agrees on weighted graphs too"
+      (Helpers.gen_weighted_graph ~max_n:9 ()) (fun g ->
+        Exact.bisection_width g = enumerated_width g);
+    Helpers.qtest ~count:120 "tree DP equals exhaustive enumeration on forests"
+      (gen_forest ~max_n:10) (fun g ->
+        assert (is_forest g);
+        let w = Gbisect.Tree_exact.bisection_width g in
+        w = enumerated_width g
+        && Bisection.cut (Gbisect.Tree_exact.best_bisection g) = w);
+    case "enumeration fixtures: known widths" (fun () ->
+        check_int "P8" 1 (enumerated_width (Classic.path 8));
+        check_int "C8" 2 (enumerated_width (Classic.cycle 8));
+        check_int "K6" 9 (enumerated_width (Classic.complete 6));
+        check_int "2x3 grid" 3 (enumerated_width (Classic.grid ~rows:2 ~cols:3)));
+  ]
+
 (* --- Metrics ------------------------------------------------------------------ *)
 
 module Metrics = Gbisect.Metrics
@@ -359,4 +425,5 @@ let () =
       ("initial", initial_tests);
       ("exact", exact_tests);
       ("exact properties", exact_property_tests);
+      ("brute force", brute_force_tests);
     ]
