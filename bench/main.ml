@@ -161,6 +161,8 @@ let run_parallel_bench profile selected jobs file =
     (fun () ->
       Printf.fprintf oc
         "{\n\
+        \  \"schema_version\": %d,\n\
+        \  \"host\": %s,\n\
         \  \"jobs\": %d,\n\
         \  \"recommended_domains\": %d,\n\
         \  \"profile\": %S,\n\
@@ -168,6 +170,8 @@ let run_parallel_bench profile selected jobs file =
          %s\n\
         \  ]\n\
          }\n"
+        Gbisect.Perf_suite.schema_version
+        (Obs.Json.to_string (Obs.Json.Obj (Gbisect.Perf_suite.host ())))
         jobs
         (Domain.recommended_domain_count ())
         profile.Profile.name

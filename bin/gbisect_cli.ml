@@ -6,6 +6,7 @@
      table  regenerate one of the paper's tables (see `table --list`)
      demo   Figure 3: a ladder graph with a bisection, as DOT
      fuzz   seeded property fuzzing of solvers/data structures vs oracles
+     perf   seeded micro-benchmark suite + regression gate vs committed baseline
      lint   determinism & domain-safety static analysis of OCaml sources
 
    Graphs travel in the edge-list format of Gbisect.Graph_io; METIS
@@ -501,6 +502,121 @@ let fuzz_cmd =
       $ metrics_term $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
+(* perf                                                                *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> ()
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let perf_cmd =
+  let suite_term =
+    let doc = "Benchmark suite to run (only $(b,core) exists today)." in
+    Arg.(value & opt string "core" & info [ "suite" ] ~docv:"NAME" ~doc)
+  in
+  let runs_term =
+    let doc = "Timed runs per bench; the point estimate is the fastest (min-of-k)." in
+    Arg.(value & opt int 5 & info [ "runs" ] ~docv:"K" ~doc)
+  in
+  let out_term =
+    let doc =
+      "Write the schema-versioned JSON artifact to $(docv) (the committed baseline \
+       is results/BENCH_core.json; see EXPERIMENTS.md for the refresh procedure)."
+    in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let baseline_term =
+    let doc = "Baseline artifact for --check." in
+    Arg.(
+      value
+      & opt string "results/BENCH_core.json"
+      & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let check_term =
+    let doc =
+      "Compare against --baseline and print an ascii delta report. Allocation \
+       regressions beyond --tolerance are failures (exit 1): allocs/op is \
+       deterministic, so drift is a real code change. Time regressions only warn \
+       (the band widens to 3 MADs of this run's spread on noisy hosts)."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let tolerance_term =
+    let doc = "Relative tolerance for --check (default 0.05 = 5%)." in
+    Arg.(value & opt float 0.05 & info [ "tolerance" ] ~docv:"FRACTION" ~doc)
+  in
+  let json_term =
+    let doc = "Print the artifact as one-line JSON on stdout instead of a table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run suite runs out baseline check tolerance json =
+    if suite <> "core" then
+      usage_error (Printf.sprintf "unknown suite %S (only \"core\" exists)" suite);
+    if runs < 1 then usage_error "--runs expects a positive integer";
+    if tolerance <= 0. then usage_error "--tolerance expects a positive fraction";
+    runtime_guard @@ fun () ->
+    (* lint: allow no-wall-clock — benchmarks need the real clock; installed once at startup *)
+    Gbisect.Obs.Clock.set Unix.gettimeofday;
+    let scratch =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gbisect-perf-%d" (Unix.getpid ()))
+    in
+    if not (Sys.file_exists scratch) then Sys.mkdir scratch 0o700;
+    let result =
+      Fun.protect
+        ~finally:(fun () -> rm_rf scratch)
+        (fun () -> Gbisect.Perf_suite.run ~runs ~scratch ())
+    in
+    let artifact = Gbisect.Perf_suite.to_json result in
+    (match out with
+    | None -> ()
+    | Some path -> write_output path (Gbisect.Obs.Json.to_string artifact ^ "\n"));
+    if check then begin
+      let parsed =
+        try Gbisect.Obs.Json.of_string (read_file baseline)
+        with Failure msg ->
+          failwith (Printf.sprintf "baseline %s: %s" baseline msg)
+      in
+      let verdict =
+        Gbisect.Perf_suite.check ~tolerance ~baseline:parsed result
+      in
+      print_string verdict.Gbisect.Perf_suite.report;
+      if verdict.Gbisect.Perf_suite.failures > 0 then begin
+        Printf.eprintf
+          "gbisect: perf: %d deterministic metric(s) regressed beyond tolerance \
+           (refresh results/BENCH_core.json if intended)\n"
+          verdict.Gbisect.Perf_suite.failures;
+        exit 1
+      end
+    end
+    else if json then print_endline (Gbisect.Obs.Json.to_string artifact)
+    else print_string (Gbisect.Perf_suite.render result)
+  in
+  let info =
+    Cmd.info "perf"
+      ~doc:
+        "Run the seeded micro-benchmark suite over the hot kernels (KL/FM passes, \
+         SA plateau, gain buckets, matching+contraction, CSR build, store round \
+         trip, fuzz generation) and optionally gate against the committed baseline. \
+         Inputs derive from fixed seeds, so allocs/op is bit-reproducible and \
+         hard-gated; timings are min-of-k and warn-only. Exits 0 when clean, 1 on \
+         an allocation regression, 2 on usage errors."
+  in
+  Cmd.v info
+    Term.(
+      const run $ suite_term $ runs_term $ out_term $ baseline_term $ check_term
+      $ tolerance_term $ json_term)
+
+(* ------------------------------------------------------------------ *)
 (* lint                                                                *)
 
 let lint_cmd =
@@ -551,7 +667,17 @@ let main_cmd =
       ~doc:"Graph bisection: Kernighan-Lin, simulated annealing, and compaction (DAC'89)."
   in
   Cmd.group info
-    [ gen_cmd; solve_cmd; kway_cmd; netlist_cmd; table_cmd; demo_cmd; fuzz_cmd; lint_cmd ]
+    [
+      gen_cmd;
+      solve_cmd;
+      kway_cmd;
+      netlist_cmd;
+      table_cmd;
+      demo_cmd;
+      fuzz_cmd;
+      perf_cmd;
+      lint_cmd;
+    ]
 
 (* Cmdliner's stock exit codes are 124 (cli error) and 125 (internal
    error); fold them onto the documented contract: 2 = usage, 1 =

@@ -577,6 +577,36 @@ let codec_roundtrip rng g =
       "field order did not change the canonical key rendering"
   else Ok ()
 
+(* {1 Profiling bit-identity} *)
+
+(* Law (DESIGN S24): enabling [Gb_obs.Prof] must never change solver
+   results or RNG streams. Run KL and a quick SA from identical derived
+   streams with spans off, then on, and demand bit-identical sides,
+   cuts, and an identical next draw from each stream afterwards. The
+   switch is global, but flipping it from parallel fuzz workers is
+   harmless precisely because of this law. *)
+let prof_identity rng g =
+  let base = Rng.derive_seed rng in
+  let observe enabled =
+    let was = Gb_obs.Prof.enabled () in
+    Gb_obs.Prof.set_enabled enabled;
+    Fun.protect
+      ~finally:(fun () -> Gb_obs.Prof.set_enabled was)
+      (fun () ->
+        let r = Rng.substream ~base 0 in
+        let kl_b, kl_stats = Kl.run r g in
+        let sa_b, sa_stats = Sa_bisect.run ~config:quick_sa r g in
+        ( Array.to_list (Bisection.sides kl_b),
+          kl_stats.Kl.final_cut,
+          Array.to_list (Bisection.sides sa_b),
+          sa_stats.Sa_bisect.final_cut,
+          Rng.int r 1_000_000 ))
+  in
+  let off = observe false in
+  let on = observe true in
+  require (off = on)
+    "enabling profiling spans changed a solver result or its RNG stream"
+
 (* {1 Whole-graph invariants} *)
 
 let graph_invariants _rng g =
@@ -658,6 +688,7 @@ let all =
         && Cycles.is_cycle_collection g
         && Csr.total_edge_weight g = Csr.n_edges g)
       cycles_oracle;
+    o "prof-identity" (n_ge 2) prof_identity;
     o "solver-cut" (n_ge 2) solver_cut;
   ]
 

@@ -52,6 +52,7 @@ module Profile = Gb_experiments.Profile
 module Runner = Gb_experiments.Runner
 module Registry = Gb_experiments.Registry
 module Experiment_table = Gb_experiments.Table
+module Perf_suite = Gb_experiments.Perf_suite
 
 type algorithm = [ `Kl | `Sa | `Ckl | `Csa | `Fm | `Multilevel ]
 

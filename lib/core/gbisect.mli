@@ -138,6 +138,12 @@ module Runner = Gb_experiments.Runner
 module Registry = Gb_experiments.Registry
 module Experiment_table = Gb_experiments.Table
 
+module Perf_suite = Gb_experiments.Perf_suite
+(** The seeded micro-benchmark suite and noise-aware regression gate
+    behind [gbisect perf]: min-of-k timings and deterministic
+    allocs/op for the hot kernels, written as schema-versioned
+    [results/BENCH_core.json] artifacts. *)
+
 (** {1 One-call interface} *)
 
 type algorithm =

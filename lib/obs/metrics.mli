@@ -61,10 +61,19 @@ val counters : unit -> (string * int) list
 (** All registered counters with their values, sorted by name. *)
 
 val histograms : unit -> (string * histogram_snapshot) list
+(** All registered histograms, sorted by name. *)
 
 val snapshot_json : unit -> Json.t
 (** [{"counters": {...}, "histograms": {...}}] — the "final metrics
-    snapshot" embedded in telemetry records and [--metrics] output. *)
+    snapshot" embedded in telemetry records and [--metrics] output.
+
+    {b Ordering guarantee.} Instruments appear sorted by name in every
+    dump ({!counters}, {!histograms}, this snapshot and {!render}),
+    never in registration or hash order — so two runs that register the
+    same instruments produce byte-identical metrics sections regardless
+    of module initialisation order, and dumps diff cleanly. A test
+    locks this in. *)
 
 val render : unit -> string
-(** Human-readable multi-line listing (the CLI's [--metrics] output). *)
+(** Human-readable multi-line listing (the CLI's [--metrics] output),
+    instruments sorted by name. *)

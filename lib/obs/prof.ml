@@ -1,0 +1,248 @@
+type delta = {
+  seconds : float;
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+}
+
+let allocated_words d = d.minor_words +. d.major_words -. d.promoted_words
+
+type stats = { count : int; total : delta }
+
+let zero_delta =
+  {
+    seconds = 0.;
+    minor_words = 0.;
+    promoted_words = 0.;
+    major_words = 0.;
+    minor_collections = 0;
+    major_collections = 0;
+    compactions = 0;
+  }
+
+let add_delta a b =
+  {
+    seconds = a.seconds +. b.seconds;
+    minor_words = a.minor_words +. b.minor_words;
+    promoted_words = a.promoted_words +. b.promoted_words;
+    major_words = a.major_words +. b.major_words;
+    minor_collections = a.minor_collections + b.minor_collections;
+    major_collections = a.major_collections + b.major_collections;
+    compactions = a.compactions + b.compactions;
+  }
+
+let switch = Atomic.make false
+let set_enabled b = Atomic.set switch b
+let enabled () = Atomic.get switch
+
+(* Spans are coarse (per refinement / anneal / trial, never per inner
+   iteration), so aggregation can afford a mutex; algorithm hot paths
+   never touch it. *)
+let registry_mutex = Mutex.create ()
+
+(* lint: allow no-naked-mutable-global — every access goes through registry_mutex *)
+let registry : (string, stats) Hashtbl.t = Hashtbl.create 32
+
+let accumulate name d =
+  Mutex.protect registry_mutex (fun () ->
+      let prev =
+        match Hashtbl.find_opt registry name with
+        | Some s -> s
+        | None -> { count = 0; total = zero_delta }
+      in
+      Hashtbl.replace registry name
+        { count = prev.count + 1; total = add_delta prev.total d })
+
+let reset () = Mutex.protect registry_mutex (fun () -> Hashtbl.reset registry)
+
+(* Word counts come from [Gc.counters] (exact: it reads the current
+   allocation pointer and sees direct major-heap allocations the moment
+   they happen), collection counts from [Gc.quick_stat] (whose word
+   fields, by contrast, only refresh at collection boundaries — useless
+   for short spans). Both are cheap. *)
+type span =
+  | Inert
+  | Open of {
+      name : string;
+      t0 : float;
+      c0 : float * float * float;  (** [Gc.counters]: minor, promoted, major. *)
+      s0 : Gc.stat;
+    }
+
+let start name =
+  if Atomic.get switch then
+    Open { name; t0 = Clock.now (); c0 = Gc.counters (); s0 = Gc.quick_stat () }
+  else Inert
+
+let finish = function
+  | Inert -> None
+  | Open { name; t0; c0 = mi0, p0, ma0; s0 } ->
+      let mi1, p1, ma1 = Gc.counters () in
+      let s1 = Gc.quick_stat () in
+      let d =
+        {
+          seconds = Float.max 0. (Clock.now () -. t0);
+          minor_words = mi1 -. mi0;
+          promoted_words = p1 -. p0;
+          major_words = ma1 -. ma0;
+          minor_collections = s1.Gc.minor_collections - s0.Gc.minor_collections;
+          major_collections = s1.Gc.major_collections - s0.Gc.major_collections;
+          compactions = s1.Gc.compactions - s0.Gc.compactions;
+        }
+      in
+      accumulate name d;
+      Some d
+
+let with_span name f =
+  if not (Atomic.get switch) then f ()
+  else begin
+    let span = start name in
+    Fun.protect
+      ~finally:(fun () ->
+        match finish span with
+        | Some d when Telemetry.collecting () ->
+            Telemetry.sample ("prof." ^ name) (allocated_words d)
+        | _ -> ())
+      f
+  end
+
+let delta_args d =
+  [
+    ("seconds", Json.Float d.seconds);
+    ("alloc_words", Json.Float (allocated_words d));
+    ("minor_words", Json.Float d.minor_words);
+    ("promoted_words", Json.Float d.promoted_words);
+    ("major_words", Json.Float d.major_words);
+    ("minor_collections", Json.Int d.minor_collections);
+    ("major_collections", Json.Int d.major_collections);
+    ("compactions", Json.Int d.compactions);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Process RSS via procfs (Linux); None elsewhere.                     *)
+
+let status_kb field =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let prefix = field ^ ":" in
+      let plen = String.length prefix in
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line when String.length line > plen && String.sub line 0 plen = prefix ->
+            (* "VmRSS:      123456 kB" *)
+            String.sub line plen (String.length line - plen)
+            |> String.split_on_char ' '
+            |> List.find_opt (fun w -> w <> "" && w <> "kB")
+            |> fun w -> Option.bind w int_of_string_opt
+        | _ -> scan ()
+      in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) scan
+
+let rss_bytes () = Option.map (fun kb -> kb * 1024) (status_kb "VmRSS")
+let peak_rss_bytes () = Option.map (fun kb -> kb * 1024) (status_kb "VmHWM")
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+let snapshot () =
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.fold (fun name s acc -> (name, s) :: acc) registry []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let stats_json (s : stats) =
+  Json.Obj
+    (("count", Json.Int s.count)
+    :: ("alloc_words_per_span",
+        Json.Float
+          (if s.count = 0 then 0.
+           else allocated_words s.total /. float_of_int s.count))
+    :: delta_args s.total)
+
+let snapshot_json () =
+  Json.Obj
+    [
+      ( "spans",
+        Json.Obj (List.map (fun (name, s) -> (name, stats_json s)) (snapshot ())) );
+      ( "peak_rss_bytes",
+        match peak_rss_bytes () with Some b -> Json.Int b | None -> Json.Null );
+    ]
+
+(* Numbers rendered through the canonical Json printer: integral floats
+   print without exponent, everything else shortest-round-trip, so the
+   exposition needs no lossy printf conversions. *)
+let number f = Json.to_string (Json.Float f)
+
+let escape_label s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_openmetrics () =
+  let spans = snapshot () in
+  let buf = Buffer.create 1024 in
+  let family ~name ~typ ~help value =
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name typ);
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    List.iter
+      (fun (span, s) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s{span=\"%s\"} %s\n" name (escape_label span) (value s)))
+      spans
+  in
+  family ~name:"gbisect_prof_spans_total" ~typ:"counter"
+    ~help:"Completed profiling spans."
+    (fun s -> string_of_int s.count);
+  family ~name:"gbisect_prof_seconds_total" ~typ:"counter"
+    ~help:"Clock seconds spent inside spans."
+    (fun s -> number s.total.seconds);
+  family ~name:"gbisect_prof_alloc_words_total" ~typ:"counter"
+    ~help:"Words allocated inside spans (minor + major - promoted)."
+    (fun s -> number (allocated_words s.total));
+  family ~name:"gbisect_prof_promoted_words_total" ~typ:"counter"
+    ~help:"Words promoted to the major heap inside spans."
+    (fun s -> number s.total.promoted_words);
+  family ~name:"gbisect_prof_minor_collections_total" ~typ:"counter"
+    ~help:"Minor collections triggered inside spans."
+    (fun s -> string_of_int s.total.minor_collections);
+  family ~name:"gbisect_prof_major_collections_total" ~typ:"counter"
+    ~help:"Major collections finished inside spans."
+    (fun s -> string_of_int s.total.major_collections);
+  (match peak_rss_bytes () with
+  | None -> ()
+  | Some b ->
+      Buffer.add_string buf "# TYPE gbisect_process_peak_rss_bytes gauge\n";
+      Buffer.add_string buf
+        "# HELP gbisect_process_peak_rss_bytes Peak resident set size of the process.\n";
+      Buffer.add_string buf (Printf.sprintf "gbisect_process_peak_rss_bytes %d\n" b));
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let render () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "profiling spans:\n";
+  List.iter
+    (fun (name, s) ->
+      let words = allocated_words s.total in
+      let rate = if s.total.seconds > 0. then words /. s.total.seconds else 0. in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  %-28s n %-6d alloc %s w (%s w/s)  minor gc %d  major gc %d\n" name
+           s.count (number words) (number (Float.round rate))
+           s.total.minor_collections s.total.major_collections))
+    (snapshot ());
+  (match peak_rss_bytes () with
+  | Some b -> Buffer.add_string buf (Printf.sprintf "peak rss: %d bytes\n" b)
+  | None -> ());
+  Buffer.contents buf

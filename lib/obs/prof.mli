@@ -1,0 +1,113 @@
+(** Resource-profiling spans: GC, allocation and RSS cost of named code
+    regions.
+
+    {!Trace} answers "where did the time go"; this module answers
+    "where did the {e memory} go". A profiling span brackets a region
+    with two [Gc.quick_stat] reads and accumulates the delta — minor,
+    promoted and major words, minor/major collections, compactions,
+    and elapsed {!Clock} seconds — into a per-name aggregate, from
+    which allocation totals and rates are derived. Process peak RSS is
+    read from [/proc/self/status] where available.
+
+    Recording is gated on one global switch (default {e off}), exactly
+    like {!Metrics}: when disabled, {!start} returns an inert span and
+    {!with_span} is a plain call, so nothing the algorithms compute
+    can depend on profiling — results, table output and RNG streams
+    are bit-identical with profiling on or off (enforced by the
+    [prof-identity] fuzz oracle and the obs test suite).
+
+    Spans are coarse by design (one per KL/FM refinement, SA anneal,
+    compaction, runner trial, bench op — not per inner-loop
+    iteration): aggregation takes a mutex, which is never contended on
+    an algorithm hot path. Each domain may profile concurrently;
+    aggregates are exact under concurrent finishes.
+
+    Attachment to the rest of the observability stack: when a span
+    finishes inside a telemetry collector ({!Telemetry.with_collector}),
+    its allocation total is sampled onto the run's trajectory as
+    [("prof.<name>", words)]; the experiment runner additionally embeds
+    the whole delta of its trial span into the telemetry record's
+    [metrics] object and the [runner.trial] trace event (see
+    {!Gb_experiments.Runner}). *)
+
+(** {1 Switch} *)
+
+val set_enabled : bool -> unit
+(** Master switch; [false] at startup. *)
+
+val enabled : unit -> bool
+
+(** {1 Spans} *)
+
+type span
+(** An open span (inert when profiling is disabled). *)
+
+type delta = {
+  seconds : float;  (** Elapsed {!Clock} time inside the span. *)
+  minor_words : float;  (** Words allocated in the minor heap. *)
+  promoted_words : float;  (** Words promoted minor → major. *)
+  major_words : float;  (** Words allocated in the major heap (promotions included). *)
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+}
+
+val allocated_words : delta -> float
+(** Total words allocated: [minor +. major -. promoted]. Unlike
+    collection counts this is a pure function of the code path, so it
+    is deterministic run to run — the property the [gbisect perf]
+    allocation gate relies on. *)
+
+val start : string -> span
+(** Open a span named [name]. O(1) and allocation-free when disabled. *)
+
+val finish : span -> delta option
+(** Close the span: accumulate its delta under the span's name and
+    return it ([None] when profiling was disabled at {!start} time). *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] brackets [f] with {!start}/{!finish} (closing on
+    the exception path too) and, when a telemetry collector is active,
+    samples the span's allocation total onto the trajectory as
+    [("prof." ^ name, allocated_words)]. *)
+
+val delta_args : delta -> (string * Json.t) list
+(** The delta as JSON fields ([seconds], [minor_words], ...,
+    [alloc_words]) for embedding into trace-event args or telemetry
+    record metrics. *)
+
+(** {1 Process RSS} *)
+
+val rss_bytes : unit -> int option
+(** Current resident set size ([VmRSS] of [/proc/self/status]);
+    [None] where procfs is unavailable. *)
+
+val peak_rss_bytes : unit -> int option
+(** Peak resident set size ([VmHWM]); monotone over the process
+    lifetime, so it is reported per run, not per span. *)
+
+(** {1 Snapshots} *)
+
+type stats = {
+  count : int;  (** Completed spans under this name. *)
+  total : delta;  (** Component-wise sum of their deltas. *)
+}
+
+val snapshot : unit -> (string * stats) list
+(** Every span name with its aggregate, sorted by name (committed
+    snapshots must diff cleanly). *)
+
+val snapshot_json : unit -> Json.t
+(** [{"spans": {...}, "peak_rss_bytes": ...}] — machine-readable dump;
+    span names sorted. *)
+
+val render_openmetrics : unit -> string
+(** OpenMetrics-style text exposition ([gbisect_prof_*] families, one
+    [# TYPE] header per family, [# EOF] terminator), for scraping or
+    committing alongside bench artifacts. Sorted by span name. *)
+
+val render : unit -> string
+(** Human-readable multi-line listing (the CLI's [--prof] output). *)
+
+val reset : unit -> unit
+(** Drop every aggregate (keeps the switch as is). *)

@@ -124,6 +124,70 @@ let solve_tests =
             check_int "exit" 2 code));
   ]
 
+let perf_tests =
+  let with_temp_json f =
+    let path = Filename.temp_file "gbisect_perf" ".json" in
+    Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+  in
+  [
+    case "run writes a schema-versioned artifact and exits 0" (fun () ->
+        with_temp_json (fun base ->
+            let code, out, err = run_cli [ "perf"; "--runs"; "1"; "--out"; base ] in
+            check_int "exit" 0 code;
+            check_bool "table rendered" true (contains out "core suite:");
+            Alcotest.(check string) "stderr" "" err;
+            let artifact = read_file base in
+            check_bool "schema_version" true (contains artifact "\"schema_version\":1");
+            check_bool "host fingerprint" true (contains artifact "\"ocaml_version\"")));
+    case "--check against the run's own artifact exits 0" (fun () ->
+        with_temp_json (fun base ->
+            let c1, _, _ = run_cli [ "perf"; "--runs"; "1"; "--out"; base ] in
+            check_int "baseline run exit" 0 c1;
+            let code, out, err =
+              run_cli [ "perf"; "--runs"; "1"; "--check"; "--baseline"; base ]
+            in
+            check_int "exit" 0 code;
+            check_bool "no failures" true (contains out "0 failure(s)");
+            Alcotest.(check string) "stderr" "" err));
+    case "alloc regression against a tampered baseline exits 1" (fun () ->
+        (* A baseline claiming kl.pass allocates 1 word/op: the real
+           suite allocates thousands, so the deterministic alloc gate
+           must hard-fail. Times are absurdly low too — those may only
+           warn. Host matches this binary, so the gate stays hard. *)
+        with_temp_json (fun base ->
+            write_file base
+              (Printf.sprintf
+                 "{\"schema_version\": 1, \"suite\": \"core\", \"runs\": 1, \
+                  \"host\": {\"ocaml_version\": %S, \"word_size\": %d, \
+                  \"os_type\": %S, \"hostname\": \"ci\"}, \"benches\": \
+                  {\"kl.pass\": {\"iters\": 1, \"ns_per_op\": 1, \
+                  \"ns_median\": 1, \"ns_mad\": 0, \"alloc_words_per_op\": 1, \
+                  \"promoted_words_per_op\": 0, \"minor_collections\": 0, \
+                  \"major_collections\": 0}}}"
+                 Sys.ocaml_version Sys.word_size Sys.os_type);
+            let code, out, err =
+              run_cli [ "perf"; "--runs"; "1"; "--check"; "--baseline"; base ]
+            in
+            check_int "exit" 1 code;
+            check_bool "FAIL line names the bench" true (contains out "FAIL  kl.pass");
+            check_int "one diagnostic line" 1 (List.length (gbisect_lines err));
+            check_bool "diagnostic names perf" true (contains err "gbisect: perf:")));
+    case "baseline schema mismatch exits 1" (fun () ->
+        with_temp_json (fun base ->
+            write_file base "{\"schema_version\": 999, \"benches\": {}}";
+            let code, out, _ =
+              run_cli [ "perf"; "--runs"; "1"; "--check"; "--baseline"; base ]
+            in
+            check_int "exit" 1 code;
+            check_bool "schema diagnosed" true (contains out "schema_version")));
+    case "unknown suite and --runs 0 are usage errors (exit 2)" (fun () ->
+        let c1, _, err = run_cli [ "perf"; "--suite"; "nope" ] in
+        check_int "suite exit" 2 c1;
+        check_bool "suite diagnosed" true (contains err "suite");
+        let c2, _, _ = run_cli [ "perf"; "--runs"; "0" ] in
+        check_int "runs exit" 2 c2);
+  ]
+
 let lint_tests =
   [
     case "clean file exits 0 and summarises on stderr" (fun () ->
@@ -161,4 +225,9 @@ let () =
     Printf.eprintf "test_cli: binary not found at %s\n" exe;
     exit 1);
   Alcotest.run "cli"
-    [ ("fuzz", fuzz_tests); ("solve", solve_tests); ("lint", lint_tests) ]
+    [
+      ("fuzz", fuzz_tests);
+      ("solve", solve_tests);
+      ("perf", perf_tests);
+      ("lint", lint_tests);
+    ]

@@ -8,6 +8,7 @@ module Metrics = Obs.Metrics
 module Trace = Obs.Trace
 module Telemetry = Obs.Telemetry
 module Clock = Obs.Clock
+module Prof = Obs.Prof
 module Pool = Gbisect.Pool
 module Classic = Gbisect.Classic
 module Kl = Gbisect.Kl
@@ -25,6 +26,8 @@ let pristine f =
     ~finally:(fun () ->
       Metrics.set_enabled false;
       Metrics.reset ();
+      Prof.set_enabled false;
+      Prof.reset ();
       Trace.set Trace.noop;
       Telemetry.set_writer None)
     f
@@ -207,6 +210,205 @@ let metrics_tests =
             let v = Json.of_string (Json.to_string (Metrics.snapshot_json ())) in
             check_bool "has counters" true (Json.member "counters" v <> None);
             check_bool "has histograms" true (Json.member "histograms" v <> None)));
+    case "dumps list instruments sorted by name, not registration order" (fun () ->
+        pristine (fun () ->
+            Metrics.set_enabled true;
+            (* Register deliberately out of order. *)
+            List.iter
+              (fun name -> Metrics.incr (Metrics.counter name))
+              [ "test.zz"; "test.aa"; "test.mm" ];
+            List.iter
+              (fun name -> Metrics.observe (Metrics.histogram name) 1.0)
+              [ "test.h_z"; "test.h_a" ];
+            let sorted names = List.sort String.compare names = names in
+            check_bool "counters sorted" true
+              (sorted (List.map fst (Metrics.counters ())));
+            check_bool "histograms sorted" true
+              (sorted (List.map fst (Metrics.histograms ())));
+            (match Json.of_string (Json.to_string (Metrics.snapshot_json ())) with
+            | Json.Obj kvs ->
+                List.iter
+                  (fun section ->
+                    match List.assoc_opt section kvs with
+                    | Some (Json.Obj entries) ->
+                        check_bool (section ^ " json sorted") true
+                          (sorted (List.map fst entries))
+                    | _ -> Alcotest.failf "%s missing from snapshot" section)
+                  [ "counters"; "histograms" ]
+            | _ -> Alcotest.fail "snapshot_json is not an object")));
+    case "log2 bucket boundaries: powers of two, zero, huge" (fun () ->
+        pristine (fun () ->
+            Metrics.set_enabled true;
+            (* An observation v lands in the first bucket with
+               v < upper_bound: 0 and everything below 1 in the bucket
+               capped at 1.0, 2^k exactly in the bucket capped at
+               2^(k+1), and a value beyond the last finite bound in the
+               +inf overflow bucket. *)
+            let bucket_of v =
+              let h = Metrics.histogram "test.buckets" in
+              Metrics.observe h v;
+              let s =
+                match List.assoc_opt "test.buckets" (Metrics.histograms ()) with
+                | Some s -> s
+                | None -> Alcotest.fail "histogram missing"
+              in
+              Metrics.reset ();
+              match s.Metrics.buckets with
+              | [ (ub, 1) ] -> ub
+              | _ -> Alcotest.failf "expected one occupied bucket for %g" v
+            in
+            Alcotest.(check (float 0.)) "0 -> le 1" 1.0 (bucket_of 0.0);
+            Alcotest.(check (float 0.)) "0.25 -> le 1" 1.0 (bucket_of 0.25);
+            for k = 0 to 12 do
+              Alcotest.(check (float 0.))
+                (Printf.sprintf "2^%d -> le 2^%d" k (k + 1))
+                (Float.ldexp 1.0 (k + 1))
+                (bucket_of (Float.ldexp 1.0 k));
+              (* Just under 2^k stays one bucket lower (for k >= 1). *)
+              if k >= 1 then
+                Alcotest.(check (float 0.))
+                  (Printf.sprintf "under 2^%d -> le 2^%d" k k)
+                  (Float.ldexp 1.0 k)
+                  (bucket_of (Float.pred (Float.ldexp 1.0 k)))
+            done;
+            Alcotest.(check (float 0.)) "max_int overflows to +inf" Float.infinity
+              (bucket_of (float_of_int max_int));
+            check_bool "negative observations land in the first bucket" true
+              (bucket_of (-3.0) = 1.0)));
+    case "summary stats are exact on the boundary corpus" (fun () ->
+        pristine (fun () ->
+            Metrics.set_enabled true;
+            let h = Metrics.histogram "test.stats" in
+            let corpus = [ 0.0; 1.0; 2.0; 1024.0; float_of_int max_int ] in
+            List.iter (Metrics.observe h) corpus;
+            match List.assoc_opt "test.stats" (Metrics.histograms ()) with
+            | None -> Alcotest.fail "histogram missing"
+            | Some s ->
+                check_int "count" (List.length corpus) s.Metrics.count;
+                Alcotest.(check (float 0.)) "sum"
+                  (List.fold_left ( +. ) 0. corpus)
+                  s.Metrics.sum;
+                Alcotest.(check (float 0.)) "min" 0.0 s.Metrics.min_value;
+                Alcotest.(check (float 0.)) "max" (float_of_int max_int)
+                  s.Metrics.max_value;
+                check_int "every observation is in a bucket"
+                  (List.length corpus)
+                  (List.fold_left (fun acc (_, c) -> acc + c) 0 s.Metrics.buckets)));
+  ]
+
+(* --- Prof ------------------------------------------------------------------ *)
+
+let prof_tests =
+  [
+    case "disabled spans are inert" (fun () ->
+        pristine (fun () ->
+            check_bool "off by default" false (Prof.enabled ());
+            let hit = ref false in
+            Prof.with_span "test.span" (fun () -> hit := true);
+            check_bool "thunk ran" true !hit;
+            check_bool "finish is None" true (Prof.finish (Prof.start "test.span") = None);
+            check_int "registry untouched" 0 (List.length (Prof.snapshot ()))));
+    case "enabled spans accumulate counts and allocation" (fun () ->
+        pristine (fun () ->
+            Prof.set_enabled true;
+            for _ = 1 to 3 do
+              Prof.with_span "test.alloc" (fun () ->
+                  ignore (Sys.opaque_identity (Array.make 10_000 0.)))
+            done;
+            match List.assoc_opt "test.alloc" (Prof.snapshot ()) with
+            | None -> Alcotest.fail "span missing from snapshot"
+            | Some s ->
+                check_int "count" 3 s.Prof.count;
+                check_bool "allocation observed" true
+                  (Prof.allocated_words s.Prof.total > 3. *. 10_000.);
+                check_bool "seconds non-negative" true (s.Prof.total.Prof.seconds >= 0.)));
+    case "snapshot is sorted and reset clears it" (fun () ->
+        pristine (fun () ->
+            Prof.set_enabled true;
+            List.iter
+              (fun name -> Prof.with_span name (fun () -> ()))
+              [ "test.z"; "test.a"; "test.m" ];
+            let names = List.map fst (Prof.snapshot ()) in
+            check_bool "sorted" true (List.sort String.compare names = names);
+            Prof.reset ();
+            check_int "reset" 0 (List.length (Prof.snapshot ()))));
+    case "snapshot_json and openmetrics render the registry" (fun () ->
+        pristine (fun () ->
+            Prof.set_enabled true;
+            Prof.with_span "test.render" (fun () ->
+                ignore (Sys.opaque_identity (List.init 100 Fun.id)));
+            let v = Json.of_string (Json.to_string (Prof.snapshot_json ())) in
+            (match Option.bind (Json.member "spans" v) (Json.member "test.render") with
+            | Some span ->
+                check_bool "count" true (Json.member "count" span = Some (Json.Int 1));
+                check_bool "alloc field" true
+                  (Json.member "alloc_words" span <> None)
+            | None -> Alcotest.fail "span missing from snapshot_json");
+            check_bool "peak_rss key" true (Json.member "peak_rss_bytes" v <> None);
+            let om = Prof.render_openmetrics () in
+            let has needle haystack =
+              let nl = String.length needle and hl = String.length haystack in
+              let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+              go 0
+            in
+            check_bool "spans_total family" true
+              (has "gbisect_prof_spans_total{span=\"test.render\"} 1" om);
+            check_bool "alloc family" true (has "gbisect_prof_alloc_words_total" om);
+            check_bool "terminated" true (has "# EOF" om)));
+    case "peak rss is readable on linux" (fun () ->
+        match Prof.peak_rss_bytes () with
+        | Some b -> check_bool "positive" true (b > 0)
+        | None -> () (* not linux: procfs absent is a legal answer *));
+    case "prof on vs off: identical cut and RNG stream" (fun () ->
+        let run () =
+          let g = Classic.ladder 32 in
+          let rng = Rng.create ~seed:11 in
+          let b, _ = Kl.run rng g in
+          (Gbisect.Bisection.cut b, Rng.int rng 1_000_000)
+        in
+        let off = run () in
+        let on =
+          pristine (fun () ->
+              Prof.set_enabled true;
+              run ())
+        in
+        check_bool "bit-identical" true (off = on));
+    case "runner attaches a prof delta to records and spans when enabled" (fun () ->
+        pristine (fun () ->
+            Prof.set_enabled true;
+            let records = ref [] in
+            Telemetry.set_writer (Some (fun r -> records := r :: !records));
+            let g = Classic.ladder 16 in
+            let rng = Rng.create ~seed:1 in
+            ignore (Runner.best_of_starts Profile.smoke rng Runner.Kl g);
+            check_bool "records emitted" true (!records <> []);
+            List.iter
+              (fun r ->
+                match List.assoc_opt "prof" r.Telemetry.metrics with
+                | Some (Json.Obj fields) ->
+                    List.iter
+                      (fun key ->
+                        check_bool (key ^ " present") true
+                          (List.mem_assoc key fields))
+                      [ "seconds"; "alloc_words"; "minor_collections" ]
+                | _ -> Alcotest.fail "record carries no prof sub-object")
+              !records;
+            (* runner.trial itself is a registered span *)
+            check_bool "runner.trial span" true
+              (List.mem_assoc "runner.trial" (Prof.snapshot ()))));
+    case "runner records carry no prof object when disabled" (fun () ->
+        pristine (fun () ->
+            let records = ref [] in
+            Telemetry.set_writer (Some (fun r -> records := r :: !records));
+            let g = Classic.ladder 16 in
+            let rng = Rng.create ~seed:1 in
+            ignore (Runner.best_of_starts Profile.smoke rng Runner.Kl g);
+            check_bool "records emitted" true (!records <> []);
+            List.iter
+              (fun r ->
+                check_bool "no prof key" false
+                  (List.mem_assoc "prof" r.Telemetry.metrics))
+              !records));
   ]
 
 (* --- Trace ----------------------------------------------------------------- *)
@@ -432,6 +634,7 @@ let () =
     [
       ("json", json_tests);
       ("metrics", metrics_tests);
+      ("prof", prof_tests);
       ("trace", trace_tests);
       ("determinism", determinism_tests);
       ("telemetry", telemetry_tests);
