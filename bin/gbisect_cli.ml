@@ -1,13 +1,17 @@
 (* gbisect — command-line front end.
 
    Subcommands:
-     gen    generate a graph (random model or classic family) to a file
-     solve  bisect a graph file with any of the six algorithms
-     table  regenerate one of the paper's tables (see `table --list`)
-     demo   Figure 3: a ladder graph with a bisection, as DOT
-     fuzz   seeded property fuzzing of solvers/data structures vs oracles
-     perf   seeded micro-benchmark suite + regression gate vs committed baseline
-     lint   determinism & domain-safety static analysis of OCaml sources
+     gen      generate a graph (random model or classic family) to a file
+     solve    bisect a graph file with any of the six algorithms
+     kway     k-way partition by recursive bisection
+     netlist  bisect a hypergraph netlist (true net-cut objective)
+     table    regenerate one of the paper's tables (see `table --list`)
+     demo     Figure 3: a ladder graph with a bisection, as DOT
+     fuzz     seeded property fuzzing of solvers/data structures vs oracles
+     perf     seeded micro-benchmark suite + regression gate vs committed baseline
+     lint     determinism & domain-safety static analysis of OCaml sources
+     serve    long-running bisection daemon on a Unix/TCP socket (SERVING.md)
+     bombard  deterministic load generator for a running serve daemon
 
    Graphs travel in the edge-list format of Gbisect.Graph_io; METIS
    files are auto-detected by the `.graph` extension. *)
@@ -661,6 +665,227 @@ let lint_cmd =
   in
   Cmd.v info Term.(const run $ paths_term $ json_term $ rules_term)
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let addr_pos_term =
+  let doc =
+    "Socket to serve on / connect to: unix:PATH, tcp:HOST:PORT, or a bare PATH \
+     (taken as a Unix socket)."
+  in
+  Arg.(value & pos 0 string "gbisect.sock" & info [] ~docv:"ADDR" ~doc)
+
+let parse_addr_or_usage s =
+  match Gbisect.Serve.parse_addr s with
+  | Ok a -> a
+  | Error msg -> usage_error msg
+
+(* serve and bombard need real elapsed time (latency percentiles, the
+   seconds field of responses), not CPU time. *)
+let install_wall_clock () =
+  (* lint: allow no-wall-clock — the daemon/load-generator measure elapsed time; installed once at startup *)
+  Gbisect.Obs.Clock.set Unix.gettimeofday
+
+let serve_cmd =
+  let queue_term =
+    let doc =
+      "Job queue capacity; a solve arriving on a full queue is refused with an \
+       $(b,overloaded) error (the backpressure contract, see SERVING.md)."
+    in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let max_frame_term =
+    let doc = "Maximum request-line bytes; longer lines get a $(b,too_large) error." in
+    Arg.(value & opt int (8 * 1024 * 1024) & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+  in
+  let starts_cap_term =
+    let doc = "Maximum starts a single job may request." in
+    Arg.(value & opt int 512 & info [ "starts-cap" ] ~docv:"N" ~doc)
+  in
+  let store_term =
+    let doc =
+      "Directory for the content-addressed result cache (created if missing; \
+       persists across restarts). Default: a throwaway cache under the temp \
+       directory, deleted on exit."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let no_cache_term =
+    let doc = "Disable the result cache entirely (every repeat query recomputes)." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let run addr queue max_frame starts_cap store no_cache trace metrics jobs =
+    apply_jobs jobs;
+    if queue < 1 then usage_error "--queue expects a positive integer";
+    if max_frame < 1024 then usage_error "--max-frame expects at least 1024 bytes";
+    if starts_cap < 1 then usage_error "--starts-cap expects a positive integer";
+    if no_cache && store <> None then usage_error "--no-cache conflicts with --store";
+    let addr = parse_addr_or_usage addr in
+    runtime_guard @@ fun () ->
+    install_wall_clock ();
+    with_obs ~trace ~metrics @@ fun () ->
+    let stopping = Atomic.make false in
+    let flip = Sys.Signal_handle (fun _ -> Atomic.set stopping true) in
+    Sys.set_signal Sys.sigterm flip;
+    Sys.set_signal Sys.sigint flip;
+    (* A client that disconnects mid-response must cost EPIPE, not kill
+       the daemon. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let temp_store = ref None in
+    let store_t =
+      if no_cache then None
+      else begin
+        let dir =
+          match store with
+          | Some dir -> dir
+          | None ->
+              let dir =
+                Filename.concat (Filename.get_temp_dir_name ())
+                  (Printf.sprintf "gbisect-serve-%d" (Unix.getpid ()))
+              in
+              temp_store := Some dir;
+              dir
+        in
+        Some (Gbisect.Store.open_store ~readable:true dir)
+      end
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter Gbisect.Store.close store_t;
+        Option.iter rm_rf !temp_store)
+      (fun () ->
+        let config =
+          {
+            Gbisect.Serve.queue_capacity = queue;
+            max_frame;
+            starts_cap;
+            store = store_t;
+            log = (fun msg -> Printf.eprintf "serve: %s\n%!" msg);
+          }
+        in
+        let server = Gbisect.Serve.create config in
+        let final =
+          Gbisect.Serve.serve ~stop:(fun () -> Atomic.get stopping) server addr
+        in
+        Printf.eprintf
+          "serve: final: %d requests, %d solved, %d cache hits, %d errors (%d \
+           overloaded)\n\
+           %!"
+          final.Gbisect.Serve_protocol.requests final.Gbisect.Serve_protocol.solved
+          final.Gbisect.Serve_protocol.cache_hits final.Gbisect.Serve_protocol.errors
+          final.Gbisect.Serve_protocol.overloaded)
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Run the bisection daemon: accept newline-delimited JSON solve jobs over a \
+         Unix or TCP socket, schedule them onto the ambient --jobs pool, answer \
+         repeat queries from the result cache, and shed load with explicit \
+         overloaded errors when the bounded queue is full. Stops cleanly on \
+         SIGTERM/SIGINT or a shutdown request. The wire protocol, error codes and \
+         operational guide are in SERVING.md. Exits 0 on clean shutdown, 1 on \
+         runtime failure (e.g. address in use), 2 on usage errors."
+  in
+  Cmd.v info
+    Term.(
+      const run $ addr_pos_term $ queue_term $ max_frame_term $ starts_cap_term
+      $ store_term $ no_cache_term $ trace_term $ metrics_term $ jobs_term)
+
+(* ------------------------------------------------------------------ *)
+(* bombard                                                             *)
+
+let bombard_cmd =
+  let requests_term =
+    let doc = "Total solve requests to issue." in
+    Arg.(value & opt int 200 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+  in
+  let concurrency_term =
+    let doc = "Concurrent connections (one request in flight on each)." in
+    Arg.(value & opt int 8 & info [ "c"; "concurrency" ] ~docv:"N" ~doc)
+  in
+  let repeat_term =
+    let doc =
+      "Fraction of requests that replay an earlier job byte-for-byte (these should \
+       hit the daemon's result cache)."
+    in
+    Arg.(value & opt float 0.3 & info [ "repeat" ] ~docv:"FRACTION" ~doc)
+  in
+  let starts_term =
+    let doc = "Best-of-k starts attached to every job." in
+    Arg.(value & opt int 1 & info [ "starts" ] ~docv:"K" ~doc)
+  in
+  let timeout_term =
+    let doc = "Per-response deadline in seconds before a connection is declared dead." in
+    Arg.(value & opt float 10.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let out_term =
+    let doc =
+      "Write the schema-versioned JSON artifact to $(docv) (the committed snapshot \
+       is results/BENCH_serve.json; see EXPERIMENTS.md for the refresh procedure)."
+    in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let json_term =
+    let doc = "Print the artifact as one-line JSON on stdout instead of a summary." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run addr requests concurrency repeat starts timeout out json seed =
+    if requests < 1 then usage_error "--requests expects a positive integer";
+    if concurrency < 1 then usage_error "--concurrency expects a positive integer";
+    if starts < 1 then usage_error "--starts expects a positive integer";
+    if not (repeat >= 0.0 && repeat <= 1.0) then
+      usage_error "--repeat expects a fraction within [0,1]";
+    if timeout <= 0.0 then usage_error "--timeout expects a positive number of seconds";
+    let addr = parse_addr_or_usage addr in
+    runtime_guard @@ fun () ->
+    install_wall_clock ();
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let make_case ~seed =
+      let c = Gbisect.Fuzz_generators.generate ~seed in
+      if Gbisect.Graph.n_vertices c.Gbisect.Fuzz_generators.graph < 2 then None
+      else Some (c.Gbisect.Fuzz_generators.family, c.Gbisect.Fuzz_generators.graph)
+    in
+    let params =
+      {
+        Gbisect.Bombard.requests;
+        concurrency;
+        repeat_ratio = repeat;
+        starts;
+        seed;
+        timeout_seconds = timeout;
+      }
+    in
+    let outcome =
+      Gbisect.Bombard.run
+        ~log:(fun msg -> Printf.eprintf "bombard: %s\n%!" msg)
+        ~make_case params addr
+    in
+    let artifact = Gbisect.Obs.Json.to_string (Gbisect.Bombard.to_json outcome) in
+    (match out with None -> () | Some path -> write_output path (artifact ^ "\n"));
+    if json then print_endline artifact
+    else print_string (Gbisect.Bombard.render outcome);
+    if outcome.Gbisect.Bombard.errors > 0 then begin
+      Printf.eprintf "gbisect: bombard: %d request(s) failed\n"
+        outcome.Gbisect.Bombard.errors;
+      exit 1
+    end
+  in
+  let info =
+    Cmd.info "bombard"
+      ~doc:
+        "Load-test a running gbisect serve daemon with a seeded, reproducible \
+         request mix drawn from the fuzz-corpus graph families, including a \
+         configurable repeat-query ratio that exercises the daemon's result cache. \
+         Reports throughput, latency percentiles and cache hit rate, optionally as \
+         the schema-versioned results/BENCH_serve.json artifact. Exits 0 when every \
+         request got a well-formed response (overloaded replies count as responses), \
+         1 on failed requests or transport errors, 2 on usage errors."
+  in
+  Cmd.v info
+    Term.(
+      const run $ addr_pos_term $ requests_term $ concurrency_term $ repeat_term
+      $ starts_term $ timeout_term $ out_term $ json_term $ seed_term)
+
 let main_cmd =
   let info =
     Cmd.info "gbisect" ~version:"1.0.0"
@@ -677,6 +902,8 @@ let main_cmd =
       fuzz_cmd;
       perf_cmd;
       lint_cmd;
+      serve_cmd;
+      bombard_cmd;
     ]
 
 (* Cmdliner's stock exit codes are 124 (cli error) and 125 (internal

@@ -20,6 +20,7 @@ module Compaction = Gb_compaction.Compaction
 module Json = Gb_obs.Json
 module Telemetry = Gb_obs.Telemetry
 module Store = Gb_store.Store
+module Serve_protocol = Gb_serve.Protocol
 
 type t = {
   name : string;
@@ -577,6 +578,102 @@ let codec_roundtrip rng g =
       "field order did not change the canonical key rendering"
   else Ok ()
 
+(* {1 Serving protocol round-trips} *)
+
+(* Law (SERVING.md): every request/response value renders to one line
+   that parses back to the identical value — over arbitrary corpus
+   graphs as payloads, every algorithm, every error code, and ids
+   containing JSON-hostile characters. Also locks the cache payload
+   codec (solved_to_json/of_json) to the wire shape, so a stored
+   result can always be replayed. *)
+let serve_codec rng g =
+  let module P = Serve_protocol in
+  let gen_id rng = if Rng.bool rng then Some (gen_string rng) else None in
+  let algorithms : P.algorithm array = [| `Kl; `Sa; `Ckl; `Csa; `Fm; `Multilevel |] in
+  let codes =
+    [| P.Bad_request; P.Unsupported; P.Too_large; P.Overloaded; P.Shutting_down;
+       P.Internal |]
+  in
+  let solve : P.solve =
+    {
+      id = gen_id rng;
+      format = (if Rng.bool rng then P.Edge_list else P.Metis);
+      data = Gio.to_edge_list_string g;
+      algorithm = Rng.pick rng algorithms;
+      starts = 1 + Rng.int rng 8;
+      seed = Rng.int rng 1_000_000;
+    }
+  in
+  let requests =
+    [ P.Solve solve; P.Ping (gen_id rng); P.Stats (gen_id rng);
+      P.Shutdown (gen_id rng) ]
+  in
+  let* () =
+    List.fold_left
+      (fun acc req ->
+        let* () = acc in
+        let line = P.request_to_line req in
+        match P.request_of_line line with
+        | Ok req' ->
+            require (P.equal_request req req')
+              "request changed across the wire: %s" line
+        | Error (_, msg) -> errf "request did not parse back (%s): %s" msg line)
+      (Ok ()) requests
+  in
+  let n = Csr.n_vertices g in
+  let side = Array.init n (fun _ -> Rng.int rng 2) in
+  let n1 = Array.fold_left ( + ) 0 side in
+  let solved : P.solved =
+    {
+      algorithm = Rng.pick rng algorithms;
+      cut = Rng.int rng 100;
+      n0 = n - n1;
+      n1;
+      side;
+      balanced = Rng.bool rng;
+      seconds = Float.abs (gen_float rng);
+      cached = Rng.bool rng;
+    }
+  in
+  let stats : P.stats =
+    {
+      uptime_seconds = Float.abs (gen_float rng);
+      requests = Rng.int rng 1000;
+      solved = Rng.int rng 1000;
+      errors = Rng.int rng 100;
+      overloaded = Rng.int rng 100;
+      cache_hits = Rng.int rng 1000;
+      cache_misses = Rng.int rng 1000;
+      queue_depth = Rng.int rng 64;
+      queue_capacity = 1 + Rng.int rng 64;
+    }
+  in
+  let responses =
+    [
+      { P.rid = gen_id rng; reply = P.Solved solved };
+      { P.rid = gen_id rng; reply = P.Pong };
+      { P.rid = gen_id rng; reply = P.Stats_reply stats };
+      { P.rid = gen_id rng; reply = P.Stopping };
+      { P.rid = gen_id rng; reply = P.Failed (Rng.pick rng codes, gen_string rng) };
+    ]
+  in
+  let* () =
+    List.fold_left
+      (fun acc resp ->
+        let* () = acc in
+        let line = P.response_to_line resp in
+        match P.response_of_line line with
+        | Ok resp' ->
+            require (P.equal_response resp resp')
+              "response changed across the wire: %s" line
+        | Error msg -> errf "response did not parse back (%s): %s" msg line)
+      (Ok ()) responses
+  in
+  match P.solved_of_json (P.solved_to_json solved) with
+  | Ok solved' ->
+      require (solved' = solved) "cache payload changed across to_json/of_json"
+  | Error msg -> errf "cache payload did not parse back: %s" msg
+
 (* {1 Profiling bit-identity} *)
 
 (* Law (DESIGN S24): enabling [Gb_obs.Prof] must never change solver
@@ -674,6 +771,7 @@ let all =
     o "initial-balance" (n_ge 1) initial_balance;
     o "gain-buckets" (fun _ -> true) gain_buckets_oracle;
     o "codec-roundtrip" (fun _ -> true) codec_roundtrip;
+    o "serve-codec" (fun _ -> true) serve_codec;
     o "kl-accounting" (n_ge 2) kl_accounting;
     o "fm-accounting" (n_ge 2) fm_accounting;
     o "compaction-projection" (n_ge 2) compaction_projection;

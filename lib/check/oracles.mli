@@ -6,7 +6,9 @@
     optimum, KL/FM incremental gain accounting against from-scratch
     recomputes, the compaction cut-correspondence law, matching
     validity/maximality, the gain-bucket queue against a sorted-list
-    model, and the JSON/store codecs against round-trip identity.
+    model, and the JSON/store codecs and the serving wire protocol
+    ({!Gb_serve.Protocol}, the [serve-codec] oracle) against
+    round-trip identity.
 
     Oracles are deterministic: {!run} derives the oracle's RNG from the
     oracle name and the case's replay seed alone, so a finding replays

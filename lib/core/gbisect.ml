@@ -48,6 +48,10 @@ module Fuzz = Gb_check.Fuzz
 module Fuzz_generators = Gb_check.Generators
 module Fuzz_oracles = Gb_check.Oracles
 module Fuzz_shrink = Gb_check.Shrink
+module Serve_protocol = Gb_serve.Protocol
+module Serve = Gb_serve.Server
+module Serve_client = Gb_serve.Client
+module Bombard = Gb_serve.Bombard
 module Profile = Gb_experiments.Profile
 module Runner = Gb_experiments.Runner
 module Registry = Gb_experiments.Registry

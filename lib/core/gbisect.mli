@@ -131,6 +131,30 @@ module Fuzz_oracles = Gb_check.Oracles
 module Fuzz_shrink = Gb_check.Shrink
 (** Greedy vertex/edge-deletion counterexample minimisation. *)
 
+(** {1 Serving} *)
+
+module Serve_protocol = Gb_serve.Protocol
+(** The newline-delimited JSON wire protocol (version 1) spoken by
+    [gbisect serve]: request/response codec, framing, and error codes —
+    see SERVING.md for the normative specification. *)
+
+module Serve = Gb_serve.Server
+(** The partitioning daemon behind [gbisect serve]: a single-domain
+    event loop over a Unix or TCP socket that schedules solve jobs onto
+    the ambient {!Pool}, answers repeat queries from the result
+    {!Store}, and sheds load with [overloaded] responses when its
+    bounded queue fills. *)
+
+module Serve_client = Gb_serve.Client
+(** A minimal blocking OCaml client for the protocol (used by
+    [gbisect bombard] and the tests). *)
+
+module Bombard = Gb_serve.Bombard
+(** The deterministic load generator behind [gbisect bombard]: a
+    seeded client mix over the fuzz-corpus families with a
+    configurable repeat-query ratio, reporting throughput, latency
+    percentiles and cache hit rate as [results/BENCH_serve.json]. *)
+
 (** {1 Experiment harness (paper §VI)} *)
 
 module Profile = Gb_experiments.Profile

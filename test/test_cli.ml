@@ -220,6 +220,37 @@ let lint_tests =
         check_int "exit" 2 code);
   ]
 
+let serve_tests =
+  [
+    case "serve: unbindable socket path exits 1 with one gbisect: line" (fun () ->
+        let code, _, err = run_cli [ "serve"; "unix:/nonexistent/dir/gb.sock" ] in
+        check_int "exit" 1 code;
+        check_int "one diagnostic line" 1 (List.length (gbisect_lines err));
+        check_bool "names the address" true (contains err "unix:/nonexistent/dir/gb.sock"));
+    case "serve: malformed address and bad flags are usage errors (exit 2)" (fun () ->
+        let c1, _, err = run_cli [ "serve"; "tcp:localhost" ] in
+        check_int "tcp without port" 2 c1;
+        check_bool "diagnosed" true (contains err "gbisect:");
+        let c2, _, _ = run_cli [ "serve"; "--queue"; "0" ] in
+        check_int "--queue 0" 2 c2;
+        let c3, _, _ = run_cli [ "serve"; "--no-cache"; "--store"; "/tmp/x" ] in
+        check_int "--no-cache with --store" 2 c3);
+    case "bombard: unreachable daemon exits 1 with one gbisect: line" (fun () ->
+        let code, _, err =
+          run_cli [ "bombard"; "unix:/nonexistent/gb.sock"; "-n"; "1" ]
+        in
+        check_int "exit" 1 code;
+        check_int "one diagnostic line" 1 (List.length (gbisect_lines err)));
+    case "bombard: nonsense parameters are usage errors (exit 2)" (fun () ->
+        let c1, _, _ = run_cli [ "bombard"; "--requests"; "0" ] in
+        check_int "--requests 0" 2 c1;
+        let c2, _, err = run_cli [ "bombard"; "--repeat"; "1.5" ] in
+        check_int "--repeat 1.5" 2 c2;
+        check_bool "diagnosed" true (contains err "--repeat");
+        let c3, _, _ = run_cli [ "bombard"; "--timeout"; "0" ] in
+        check_int "--timeout 0" 2 c3);
+  ]
+
 let () =
   if not (Sys.file_exists exe) then (
     Printf.eprintf "test_cli: binary not found at %s\n" exe;
@@ -230,4 +261,5 @@ let () =
       ("solve", solve_tests);
       ("perf", perf_tests);
       ("lint", lint_tests);
+      ("serve", serve_tests);
     ]
