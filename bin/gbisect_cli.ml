@@ -184,6 +184,7 @@ let algorithm_conv =
     | "csa" -> Ok `Csa
     | "fm" -> Ok `Fm
     | "mlkl" | "multilevel" -> Ok `Multilevel
+    | "mlfm" -> Ok `Mlfm
     | _ -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
   in
   let print fmt a = Format.pp_print_string fmt (Gbisect.algorithm_name a) in
@@ -195,25 +196,72 @@ let solve_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc)
   in
   let algorithm =
-    let doc = "Algorithm: kl, sa, ckl, csa, fm, mlkl." in
+    let doc = "Algorithm: kl, sa, ckl, csa, fm, mlkl, mlfm." in
     Arg.(value & opt algorithm_conv `Ckl & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
   in
   let starts =
     let doc = "Number of random starts (best is kept)." in
     Arg.(value & opt int 2 & info [ "starts" ] ~docv:"INT" ~doc)
   in
+  let ml_min_vertices =
+    let doc = "Multilevel (mlkl/mlfm): stop coarsening below this many vertices." in
+    Arg.(
+      value
+      & opt int Gbisect.default_ml_config.Gbisect.min_vertices
+      & info [ "ml-min-vertices" ] ~docv:"INT" ~doc)
+  in
+  let ml_max_levels =
+    let doc = "Multilevel (mlkl/mlfm): maximum coarsening depth." in
+    Arg.(
+      value
+      & opt int Gbisect.default_ml_config.Gbisect.max_levels
+      & info [ "ml-max-levels" ] ~docv:"INT" ~doc)
+  in
+  let ml_coarse_starts =
+    let doc =
+      "Multilevel (mlkl/mlfm): best-of-k initial partitions at the coarsest level."
+    in
+    Arg.(
+      value
+      & opt int Gbisect.default_ml_config.Gbisect.coarse_starts
+      & info [ "ml-coarse-starts" ] ~docv:"INT" ~doc)
+  in
+  let max_rss =
+    let doc =
+      "Fail (exit 1) if the process's peak resident set exceeds this many mebibytes; \
+       checked after the solve."
+    in
+    Arg.(value & opt (some int) None & info [ "max-rss" ] ~docv:"MB" ~doc)
+  in
   let dot =
     let doc = "Also write a DOT rendering with the cut highlighted." in
     Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
   in
-  let run file algorithm starts seed dot trace metrics jobs =
+  let run file algorithm starts ml_min_vertices ml_max_levels ml_coarse_starts max_rss seed
+      dot trace metrics jobs =
     runtime_guard @@ fun () ->
     apply_jobs jobs;
     let graph = read_graph file in
     let rng = Gbisect.Rng.create ~seed in
-    let result =
-      with_obs ~trace ~metrics (fun () -> Gbisect.solve ~algorithm ~starts rng graph)
+    let ml =
+      {
+        Gbisect.min_vertices = ml_min_vertices;
+        max_levels = ml_max_levels;
+        coarse_starts = ml_coarse_starts;
+      }
     in
+    let result =
+      with_obs ~trace ~metrics (fun () -> Gbisect.solve ~algorithm ~starts ~ml rng graph)
+    in
+    (match (max_rss, Gbisect.Obs.Prof.peak_rss_bytes ()) with
+    | Some budget_mb, Some peak when peak > budget_mb * 1024 * 1024 ->
+        failwith
+          (Printf.sprintf "peak RSS %d MiB exceeds the --max-rss budget of %d MiB"
+             (peak / (1024 * 1024))
+             budget_mb)
+    | Some _, None ->
+        Printf.eprintf "gbisect: warning: --max-rss unsupported (no /proc/self/status)\n"
+    | _ -> ());
     let bisection = result.Gbisect.bisection in
     Printf.printf "%s on %s: cut %d (%d+%d vertices), %.3fs\n"
       (Gbisect.algorithm_name algorithm)
@@ -237,7 +285,8 @@ let solve_cmd =
   let info = Cmd.info "solve" ~doc:"Bisect a graph file." in
   Cmd.v info
     Term.(
-      const run $ file $ algorithm $ starts $ seed_term $ dot $ trace_term $ metrics_term
+      const run $ file $ algorithm $ starts $ ml_min_vertices $ ml_max_levels
+      $ ml_coarse_starts $ max_rss $ seed_term $ dot $ trace_term $ metrics_term
       $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
@@ -253,7 +302,7 @@ let kway_cmd =
     Arg.(value & opt int 4 & info [ "k" ] ~docv:"INT" ~doc)
   in
   let algorithm =
-    let doc = "Per-level bisection solver: kl, ckl, fm, mlkl." in
+    let doc = "Per-level bisection solver: kl, ckl, fm, mlkl, mlfm." in
     Arg.(value & opt string "ckl" & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
   in
   let run file k algorithm seed =
@@ -265,6 +314,7 @@ let kway_cmd =
       | "ckl" -> Gbisect.Kway.of_algorithm `Ckl
       | "fm" -> Gbisect.Kway.of_algorithm `Fm
       | "mlkl" | "multilevel" -> Gbisect.Kway.of_algorithm `Multilevel
+      | "mlfm" -> Gbisect.Kway.of_algorithm `Mlfm
       | other -> failwith (Printf.sprintf "unknown solver %S" other)
     in
     let rng = Gbisect.Rng.create ~seed in
@@ -621,6 +671,115 @@ let perf_cmd =
       $ tolerance_term $ json_term)
 
 (* ------------------------------------------------------------------ *)
+(* scale                                                               *)
+
+let scale_cmd =
+  let n_term =
+    let doc = "Vertices of the Gnp instance (ignored with --grid)." in
+    Arg.(value & opt int 1_000_000 & info [ "n"; "vertices" ] ~docv:"INT" ~doc)
+  in
+  let degree_term =
+    let doc = "Average degree of the Gnp instance." in
+    Arg.(value & opt float 4.0 & info [ "degree" ] ~docv:"FLOAT" ~doc)
+  in
+  let grid_term =
+    let doc = "Use a ROWSxCOLS grid instead of Gnp." in
+    Arg.(
+      value & opt (some (pair ~sep:'x' int int)) None & info [ "grid" ] ~docv:"RxC" ~doc)
+  in
+  let algorithm_term =
+    let doc = "Solver: mlkl, mlfm, fm, kl." in
+    Arg.(value & opt string "mlfm" & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+  in
+  let ml_min_vertices_term =
+    let doc = "Multilevel coarsening floor." in
+    Arg.(value & opt int 64 & info [ "ml-min-vertices" ] ~docv:"INT" ~doc)
+  in
+  let ml_max_levels_term =
+    let doc = "Multilevel maximum coarsening depth." in
+    Arg.(value & opt int 20 & info [ "ml-max-levels" ] ~docv:"INT" ~doc)
+  in
+  let refine_passes_term =
+    let doc =
+      "Per-level refinement pass cap for the multilevel solvers (unbounded \
+       refinement is superlinear in the instance size for <2% extra cut)."
+    in
+    Arg.(value & opt int 4 & info [ "refine-passes" ] ~docv:"INT" ~doc)
+  in
+  let max_rss_term =
+    let doc = "Fail (exit 1) if peak RSS exceeds this many mebibytes." in
+    Arg.(value & opt (some int) None & info [ "max-rss" ] ~docv:"MB" ~doc)
+  in
+  let out_term =
+    let doc =
+      "Write the schema-versioned JSON artifact to $(docv) (the committed baseline \
+       is results/BENCH_scale.json)."
+    in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let json_term =
+    let doc = "Print the artifact as one-line JSON on stdout instead of a summary." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run n degree grid algorithm ml_min_vertices ml_max_levels refine_passes max_rss
+      out json seed =
+    let algorithm =
+      match Gbisect.Scale_suite.algorithm_of_id algorithm with
+      | Some a -> a
+      | None ->
+          usage_error
+            (Printf.sprintf "unknown algorithm %S (mlkl mlfm fm kl)" algorithm)
+    in
+    if n < 2 then usage_error "--n expects at least 2 vertices";
+    if degree <= 0. then usage_error "--degree expects a positive average degree";
+    if refine_passes < 1 then usage_error "--refine-passes expects at least 1";
+    runtime_guard @@ fun () ->
+    (* lint: allow no-wall-clock — throughput needs the real clock; installed once at startup *)
+    Gbisect.Obs.Clock.set Unix.gettimeofday;
+    let model =
+      match grid with
+      | Some (rows, cols) -> Gbisect.Scale_suite.Grid { rows; cols }
+      | None -> Gbisect.Scale_suite.Gnp { n; avg_degree = degree }
+    in
+    let result =
+      Gbisect.Scale_suite.run ~ml_min_vertices ~ml_max_levels ~refine_passes ~algorithm
+        ~seed model
+    in
+    (match out with
+    | None -> ()
+    | Some path ->
+        write_output path
+          (Gbisect.Obs.Json.to_string (Gbisect.Scale_suite.to_json result) ^ "\n"));
+    if json then
+      print_endline (Gbisect.Obs.Json.to_string (Gbisect.Scale_suite.to_json result))
+    else print_endline (Gbisect.Scale_suite.render result);
+    (match (max_rss, result.Gbisect.Scale_suite.peak_rss_bytes) with
+    | Some budget_mb, Some peak when peak > budget_mb * 1024 * 1024 ->
+        failwith
+          (Printf.sprintf "peak RSS %d MiB exceeds the --max-rss budget of %d MiB"
+             (peak / (1024 * 1024))
+             budget_mb)
+    | Some _, None ->
+        Printf.eprintf "gbisect: warning: --max-rss unsupported (no /proc/self/status)\n"
+    | _ -> ());
+    if not result.Gbisect.Scale_suite.balanced then
+      failwith "scale solve produced an unbalanced bisection"
+  in
+  let info =
+    Cmd.info "scale"
+      ~doc:
+        "Build one large synthetic instance (Gnp by default, --grid for meshes), \
+         bisect it with a scale-suitable solver, and report end-to-end throughput \
+         and peak RSS as the schema-versioned BENCH_scale artifact. Exits 0 on a \
+         balanced result within the optional --max-rss budget, 1 otherwise."
+  in
+  Cmd.v info
+    Term.(
+      const run $ n_term $ degree_term $ grid_term $ algorithm_term
+      $ ml_min_vertices_term $ ml_max_levels_term $ refine_passes_term $ max_rss_term
+      $ out_term $ json_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
 (* lint                                                                *)
 
 let lint_cmd =
@@ -901,6 +1060,7 @@ let main_cmd =
       demo_cmd;
       fuzz_cmd;
       perf_cmd;
+      scale_cmd;
       lint_cmd;
       serve_cmd;
       bombard_cmd;

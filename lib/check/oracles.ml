@@ -125,6 +125,10 @@ let solvers : (string * (Rng.t -> Csr.t -> Bisection.t * int option)) list =
       fun rng g ->
         let b, s = Compaction.recursive ~refiner:(Compaction.kl_refiner ()) rng g in
         (b, Some s.Compaction.final_cut) );
+    ( "multilevel-fm",
+      fun rng g ->
+        let b, s = Compaction.recursive ~refiner:(Compaction.fm_refiner ()) rng g in
+        (b, Some s.Compaction.final_cut) );
   ]
 
 let solver_cut rng g =
@@ -314,6 +318,42 @@ let compaction_projection rng g =
     (stats.Compaction.final_cut <= stats.Compaction.projected_cut)
     "KL refinement worsened the projected start: projected %d, final %d"
     stats.Compaction.projected_cut stats.Compaction.final_cut
+
+(* The same correspondence checked at every level of a deep V-cycle:
+   [min_vertices = 2] forces the full hierarchy even on the miniature
+   corpus graphs, and the observer sees each uncoarsening step — the
+   projected fine cut must equal the coarse cut exactly, and every
+   rebalanced start must be count-balanced before refinement. *)
+let multilevel_projection rng g =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let seen = ref 0 in
+  let observer ~level ~fine ~coarse ~coarse_side ~projected ~rebalanced =
+    incr seen;
+    let coarse_cut = Bisection.compute_cut coarse coarse_side in
+    let fine_cut = Bisection.compute_cut fine projected in
+    if fine_cut <> coarse_cut then
+      fail "level %d: coarse cut %d but projected fine cut %d" level coarse_cut fine_cut;
+    (match Bisection.validate_sides fine rebalanced with
+    | exception Invalid_argument msg -> fail "level %d: rebalanced start invalid: %s" level msg
+    | () ->
+        if not (Bisection.is_count_balanced rebalanced) then
+          fail "level %d: rebalanced start is not count-balanced" level)
+  in
+  let b, stats =
+    Compaction.recursive ~min_vertices:2 ~observer
+      ~refiner:(Compaction.fm_refiner ()) rng g
+  in
+  let* () =
+    match List.rev !failures with [] -> Ok () | msgs -> errf "%s" (String.concat "; " msgs)
+  in
+  let* () =
+    require
+      (!seen = stats.Compaction.levels - 1)
+      "observer saw %d uncoarsenings but stats report %d levels" !seen
+      stats.Compaction.levels
+  in
+  match verify_run g b with Ok () -> Ok () | Error e -> errf "mlfm result: %s" e
 
 (* {1 Matching} *)
 
@@ -589,7 +629,9 @@ let codec_roundtrip rng g =
 let serve_codec rng g =
   let module P = Serve_protocol in
   let gen_id rng = if Rng.bool rng then Some (gen_string rng) else None in
-  let algorithms : P.algorithm array = [| `Kl; `Sa; `Ckl; `Csa; `Fm; `Multilevel |] in
+  let algorithms : P.algorithm array =
+    [| `Kl; `Sa; `Ckl; `Csa; `Fm; `Multilevel; `Mlfm |]
+  in
   let codes =
     [| P.Bad_request; P.Unsupported; P.Too_large; P.Overloaded; P.Shutting_down;
        P.Internal |]
@@ -775,6 +817,7 @@ let all =
     o "kl-accounting" (n_ge 2) kl_accounting;
     o "fm-accounting" (n_ge 2) fm_accounting;
     o "compaction-projection" (n_ge 2) compaction_projection;
+    o "multilevel-projection" (n_ge 2) multilevel_projection;
     o "exact-witness" (fun g -> n_ge 2 g && Csr.n_vertices g <= exact_limit)
       exact_witness;
     o "tree-exact" (fun g -> n_ge 2 g && is_forest g) tree_exact_oracle;

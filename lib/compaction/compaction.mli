@@ -61,6 +61,15 @@ val recursive :
   ?policy:policy ->
   ?min_vertices:int ->
   ?max_levels:int ->
+  ?coarse_starts:int ->
+  ?observer:
+    (level:int ->
+    fine:Gb_graph.Csr.t ->
+    coarse:Gb_graph.Csr.t ->
+    coarse_side:int array ->
+    projected:int array ->
+    rebalanced:int array ->
+    unit) ->
   refiner:refiner ->
   Gb_prng.Rng.t ->
   Gb_graph.Csr.t ->
@@ -69,7 +78,19 @@ val recursive :
     [min_vertices = 64], [max_levels = 20], stopping early when a level
     shrinks the graph by less than 10 %), bisect the coarsest graph,
     then project-rebalance-refine level by level. [levels] in the
-    returned stats counts coarsening steps + 1. *)
+    returned stats counts coarsening steps + 1.
+
+    [coarse_starts] (default 1) takes the best of that many sequential
+    initial-partition + refine attempts on the coarsest graph, ties
+    resolved to the earliest attempt. The default reproduces the
+    single-start draw sequence bit for bit.
+
+    [observer] is invoked once per uncoarsening step, coarsest first
+    ([level] counts 1, 2, ...), with the level's fine and coarse
+    graphs, the coarse-side assignment being projected, the raw
+    projection, and the rebalanced start handed to the refiner. It
+    exists for verification (the fuzz oracle checks projected cuts and
+    balance at every level) and must not mutate its arguments. *)
 
 (** {1 The paper's four algorithms, packaged} *)
 

@@ -56,6 +56,9 @@ let of_algorithm algorithm : solver =
   | `Multilevel ->
       Bisection.sides
         (fst (Compaction.recursive ~refiner:(Compaction.kl_refiner ()) rng g))
+  | `Mlfm ->
+      Bisection.sides
+        (fst (Compaction.recursive ~refiner:(Compaction.fm_refiner ()) rng g))
 
 let part_sizes r =
   let sizes = Array.make r.k 0 in

@@ -31,7 +31,7 @@ val partition : k:int -> solver:solver -> Gb_prng.Rng.t -> Gb_graph.Csr.t -> res
     at most [Csr.n_vertices g] (for non-empty graphs). *)
 
 val of_algorithm :
-  [ `Kl | `Ckl | `Fm | `Multilevel ] -> solver
+  [ `Kl | `Ckl | `Fm | `Multilevel | `Mlfm ] -> solver
 (** Deterministic-ish standard solvers (SA variants work too but are
     slow at depth; wire {!Compaction.sa_refiner} through a custom
     solver if wanted). *)

@@ -2,6 +2,7 @@ module Rng = Gb_prng.Rng
 module Lfg = Gb_prng.Lfg
 module Graph = Gb_graph.Csr
 module Builder = Gb_graph.Builder
+module Bitset = Gb_graph.Bitset
 module Classic = Gb_graph.Classic
 module Traverse = Gb_graph.Traverse
 module Graph_io = Gb_graph.Gio
@@ -57,8 +58,9 @@ module Runner = Gb_experiments.Runner
 module Registry = Gb_experiments.Registry
 module Experiment_table = Gb_experiments.Table
 module Perf_suite = Gb_experiments.Perf_suite
+module Scale_suite = Gb_experiments.Scale_suite
 
-type algorithm = [ `Kl | `Sa | `Ckl | `Csa | `Fm | `Multilevel ]
+type algorithm = [ `Kl | `Sa | `Ckl | `Csa | `Fm | `Multilevel | `Mlfm ]
 
 let algorithm_name = function
   | `Kl -> "KL"
@@ -67,19 +69,30 @@ let algorithm_name = function
   | `Csa -> "CSA"
   | `Fm -> "FM"
   | `Multilevel -> "MLKL"
+  | `Mlfm -> "MLFM"
+
+type ml_config = { min_vertices : int; max_levels : int; coarse_starts : int }
+
+let default_ml_config = { min_vertices = 64; max_levels = 20; coarse_starts = 1 }
 
 type result = { bisection : Bisection.t; algorithm : algorithm; seconds : float }
 
-let run_once algorithm rng g =
+let run_once ?(ml = default_ml_config) algorithm rng g =
+  let recursive refiner rng g =
+    fst
+      (Compaction.recursive ~min_vertices:ml.min_vertices ~max_levels:ml.max_levels
+         ~coarse_starts:ml.coarse_starts ~refiner rng g)
+  in
   match algorithm with
   | `Kl -> fst (Kl.run rng g)
   | `Sa -> fst (Sa_bisect.run rng g)
   | `Ckl -> fst (Compaction.ckl rng g)
   | `Csa -> fst (Compaction.csa rng g)
   | `Fm -> fst (Fm.run rng g)
-  | `Multilevel -> fst (Compaction.recursive ~refiner:(Compaction.kl_refiner ()) rng g)
+  | `Multilevel -> recursive (Compaction.kl_refiner ()) rng g
+  | `Mlfm -> recursive (Compaction.fm_refiner ()) rng g
 
-let solve ?(algorithm = `Ckl) ?(starts = 2) rng g =
+let solve ?(algorithm = `Ckl) ?(starts = 2) ?ml rng g =
   if starts < 1 then invalid_arg "Gbisect.solve: starts must be >= 1";
   let t0 = Obs.Clock.now () in
   (* Starts run on the ambient pool (--jobs) with per-start substreams,
@@ -89,7 +102,7 @@ let solve ?(algorithm = `Ckl) ?(starts = 2) rng g =
   let best =
     Pool.best_by (Pool.current ())
       ~compare:(fun a b -> Int.compare (Bisection.cut a) (Bisection.cut b))
-      (fun i -> run_once algorithm (Rng.substream ~base i) g)
+      (fun i -> run_once ?ml algorithm (Rng.substream ~base i) g)
       starts
   in
   { bisection = best; algorithm; seconds = Obs.Clock.now () -. t0 }

@@ -21,6 +21,7 @@ module Rng = Gb_prng.Rng
 module Lfg = Gb_prng.Lfg
 module Graph = Gb_graph.Csr
 module Builder = Gb_graph.Builder
+module Bitset = Gb_graph.Bitset
 module Classic = Gb_graph.Classic
 module Traverse = Gb_graph.Traverse
 module Graph_io = Gb_graph.Gio
@@ -168,6 +169,12 @@ module Perf_suite = Gb_experiments.Perf_suite
     allocs/op for the hot kernels, written as schema-versioned
     [results/BENCH_core.json] artifacts. *)
 
+module Scale_suite = Gb_experiments.Scale_suite
+(** The capacity bench behind [gbisect scale]: one multi-million-edge
+    synthetic instance, one solve, end-to-end edges/sec and peak RSS,
+    written as the schema-versioned [results/BENCH_scale.json]
+    artifact. *)
+
 (** {1 One-call interface} *)
 
 type algorithm =
@@ -176,9 +183,22 @@ type algorithm =
   | `Ckl  (** compacted KL — the paper's winner on sparse graphs *)
   | `Csa  (** compacted SA *)
   | `Fm  (** Fiduccia-Mattheyses (extension) *)
-  | `Multilevel  (** recursive compaction over KL (extension) *) ]
+  | `Multilevel  (** recursive compaction over KL (extension) *)
+  | `Mlfm
+    (** recursive compaction over FM — linear-time passes, the
+        refiner of choice on million-edge instances (extension) *) ]
 
 val algorithm_name : algorithm -> string
+
+type ml_config = { min_vertices : int; max_levels : int; coarse_starts : int }
+(** Knobs of the multilevel V-cycle ([`Multilevel] and [`Mlfm]):
+    coarsening floor, maximum coarsening depth, and best-of-k initial
+    partitions at the coarsest level. See
+    {!Gb_compaction.Compaction.recursive}. *)
+
+val default_ml_config : ml_config
+(** [{ min_vertices = 64; max_levels = 20; coarse_starts = 1 }] — the
+    defaults of {!Gb_compaction.Compaction.recursive}. *)
 
 type result = {
   bisection : Gb_partition.Bisection.t;
@@ -192,6 +212,7 @@ type result = {
 val solve :
   ?algorithm:algorithm ->
   ?starts:int ->
+  ?ml:ml_config ->
   Gb_prng.Rng.t ->
   Gb_graph.Csr.t ->
   result

@@ -1,0 +1,60 @@
+(** The scale bench behind [gbisect scale]: one large synthetic
+    instance, one solve, end-to-end throughput and peak RSS as a
+    schema-versioned artifact ([results/BENCH_scale.json]).
+
+    Where {!Perf_suite} measures nanoseconds over thousands of
+    iterations of small kernels, this suite answers the capacity
+    question — does a multi-million-edge graph build, fit, and bisect —
+    so a single run is the measurement. *)
+
+val schema_version : int
+
+type model =
+  | Gnp of { n : int; avg_degree : float }
+      (** Erdős–Rényi via the geometric-skip sampler. *)
+  | Grid of { rows : int; cols : int }
+
+type algorithm = Mlkl | Mlfm | Fm | Kl
+
+val algorithm_id : algorithm -> string
+val algorithm_of_id : string -> algorithm option
+
+type result = {
+  model : model;
+  algorithm : algorithm;
+  seed : int;
+  n : int;
+  m : int;
+  cut : int;
+  balanced : bool;  (** Checked from a bit-packed copy of the sides. *)
+  levels : int;  (** V-cycle depth (1 for the flat solvers). *)
+  build_seconds : float;
+  solve_seconds : float;
+  edges_per_sec : float;  (** [m] over build + solve. *)
+  peak_rss_bytes : int option;  (** VmHWM; [None] off Linux. *)
+}
+
+val run :
+  ?ml_min_vertices:int ->
+  ?ml_max_levels:int ->
+  ?refine_passes:int ->
+  algorithm:algorithm ->
+  seed:int ->
+  model ->
+  result
+(** Build the instance, solve, measure. Deterministic for a fixed
+    (model, algorithm, seed, knobs) apart from the timing fields.
+
+    [refine_passes] (default 4) caps the per-level refinement passes
+    of the multilevel solvers. Unbounded ([until_no_improvement])
+    refinement makes solve time superlinear in the instance size —
+    FM runs 30+ near-full passes on the finest levels — for under 2%
+    of extra cut quality; the bounded default is the usual multilevel
+    compromise and what [BENCH_scale.json] records. The flat [Fm] and
+    [Kl] baselines keep their own defaults. *)
+
+val to_json : result -> Gb_obs.Json.t
+(** Adds [schema_version] and the {!Perf_suite.host} fingerprint. *)
+
+val render : result -> string
+(** One human-readable summary line. *)

@@ -1,0 +1,65 @@
+(* Bit-packed 0/1 arrays for the scale path: one bit per vertex instead
+   of one word, so a side assignment or visited set over millions of
+   vertices costs n/8 bytes and no GC scanning (the payload is a Bytes
+   value). Used by the traversals' seen-sets and by the scale bench's
+   compact side storage; solvers keep their int-array APIs. *)
+
+type t = { len : int; bits : Bytes.t }
+
+let create len =
+  if len < 0 then invalid_arg "Bitset.create: negative length";
+  { len; bits = Bytes.make ((len + 7) / 8) '\000' }
+
+let length t = t.len
+
+let check t i = if i < 0 || i >= t.len then invalid_arg "Bitset: index out of range"
+
+let get t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check t i;
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.bits b
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits b) lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i;
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.bits b
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits b) land lnot (1 lsl (i land 7))))
+
+let assign t i v = if v then set t i else clear t i
+
+let popcount t =
+  let count = ref 0 in
+  for b = 0 to Bytes.length t.bits - 1 do
+    let x = ref (Char.code (Bytes.unsafe_get t.bits b)) in
+    while !x <> 0 do
+      x := !x land (!x - 1);
+      incr count
+    done
+  done;
+  !count
+
+let of_sides side =
+  let t = create (Array.length side) in
+  Array.iteri
+    (fun i s ->
+      if s <> 0 && s <> 1 then invalid_arg "Bitset.of_sides: sides must be 0 or 1";
+      if s = 1 then set t i)
+    side;
+  t
+
+let to_sides t = Array.init t.len (fun i -> if get t i then 1 else 0)
+
+let fill t v =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) (if v then '\255' else '\000');
+  (* Normalise the tail so popcount stays exact. *)
+  if v then
+    for i = 8 * ((t.len + 7) / 8) - 1 downto t.len do
+      let b = i lsr 3 in
+      Bytes.unsafe_set t.bits b
+        (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits b) land lnot (1 lsl (i land 7))))
+    done

@@ -1,0 +1,35 @@
+(** Bit-packed boolean arrays (1 bit per element).
+
+    The compact companion of the int32 {!Csr} store: a side assignment
+    or a traversal's seen-set over millions of vertices costs [n/8]
+    bytes with no GC scanning cost. Solver-facing APIs keep plain
+    [int array] sides; this module backs the scale path (traversal
+    seen-sets, compact side storage in the scale bench). *)
+
+type t
+
+val create : int -> t
+(** [create len]: all bits clear. @raise Invalid_argument on negative
+    length. *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+
+val assign : t -> int -> bool -> unit
+(** [assign t i v] sets bit [i] to [v]. *)
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val fill : t -> bool -> unit
+(** Set or clear every bit. *)
+
+val of_sides : int array -> t
+(** Pack a 0/1 side array (bit set ⇔ side 1).
+    @raise Invalid_argument on entries outside [{0, 1}]. *)
+
+val to_sides : t -> int array
+(** Unpack back to a 0/1 array; inverse of {!of_sides}. *)

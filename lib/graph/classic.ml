@@ -41,14 +41,24 @@ let wheel n =
 let grid ~rows ~cols =
   require (rows >= 1 && cols >= 1) "grid";
   let id r c = (r * cols) + c in
-  let edges = ref [] in
+  (* Exact edge count is known up front, so fill unboxed arrays
+     directly — grids are a scale-bench family and the boxed list was
+     the dominant allocation for million-vertex instances. *)
+  let m = (rows * (cols - 1)) + ((rows - 1) * cols) in
+  let esrc = Array.make (max 1 m) 0 and edst = Array.make (max 1 m) 0 in
+  let k = ref 0 in
+  let push u v =
+    esrc.(!k) <- u;
+    edst.(!k) <- v;
+    incr k
+  in
   for r = 0 to rows - 1 do
     for c = 0 to cols - 1 do
-      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
-      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+      if c + 1 < cols then push (id r c) (id r (c + 1));
+      if r + 1 < rows then push (id r c) (id (r + 1) c)
     done
   done;
-  Csr.of_unweighted_edges ~n:(rows * cols) !edges
+  Csr.of_edge_arrays ~n:(rows * cols) ~len:m esrc edst
 
 let torus ~rows ~cols =
   require (rows >= 3 && cols >= 3) "torus";
@@ -126,17 +136,24 @@ let grid_of_side n = grid ~rows:n ~cols:n
 let grid3d ~x ~y ~z =
   require (x >= 1 && y >= 1 && z >= 1) "grid3d";
   let id i j k = (((i * y) + j) * z) + k in
-  let edges = ref [] in
+  let m = ((x - 1) * y * z) + (x * (y - 1) * z) + (x * y * (z - 1)) in
+  let esrc = Array.make (max 1 m) 0 and edst = Array.make (max 1 m) 0 in
+  let c = ref 0 in
+  let push u v =
+    esrc.(!c) <- u;
+    edst.(!c) <- v;
+    incr c
+  in
   for i = 0 to x - 1 do
     for j = 0 to y - 1 do
       for k = 0 to z - 1 do
-        if i + 1 < x then edges := (id i j k, id (i + 1) j k) :: !edges;
-        if j + 1 < y then edges := (id i j k, id i (j + 1) k) :: !edges;
-        if k + 1 < z then edges := (id i j k, id i j (k + 1)) :: !edges
+        if i + 1 < x then push (id i j k) (id (i + 1) j k);
+        if j + 1 < y then push (id i j k) (id i (j + 1) k);
+        if k + 1 < z then push (id i j k) (id i j (k + 1))
       done
     done
   done;
-  Csr.of_unweighted_edges ~n:(x * y * z) !edges
+  Csr.of_edge_arrays ~n:(x * y * z) ~len:m esrc edst
 
 let barbell m =
   require (m >= 2) "barbell";

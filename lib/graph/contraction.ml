@@ -24,22 +24,31 @@ let contract g (m : Matching.t) =
   done;
   let coarse_to_fine = Array.of_list (List.rev !groups) in
   let n' = !next in
-  (* Accumulate coarse edges; internal (contracted) edges vanish. *)
-  let coarse_edges = Hashtbl.create (2 * Csr.n_edges g + 1) in
+  (* Emit every surviving cross edge into unboxed arrays; internal
+     (contracted) edges vanish and parallel coarse edges are merged —
+     weights summed — by the canonical CSR build. The old tuple-keyed
+     hash table boxed every coarse edge twice at million-edge scale. *)
+  let m = Csr.n_edges g in
+  let csrc = Array.make (max 1 m) 0
+  and cdst = Array.make (max 1 m) 0
+  and cwgt = Array.make (max 1 m) 0 in
+  let k = ref 0 in
   Csr.iter_edges g (fun u v w ->
       let cu = fine_to_coarse.(u) and cv = fine_to_coarse.(v) in
       if cu <> cv then begin
-        let key = if cu < cv then (cu, cv) else (cv, cu) in
-        Hashtbl.replace coarse_edges key
-          (w + Option.value ~default:0 (Hashtbl.find_opt coarse_edges key))
+        csrc.(!k) <- cu;
+        cdst.(!k) <- cv;
+        cwgt.(!k) <- w;
+        incr k
       end);
   let vertex_weights =
     Array.map
       (fun members -> Array.fold_left (fun acc v -> acc + Csr.vertex_weight g v) 0 members)
       coarse_to_fine
   in
-  let edge_list = Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) coarse_edges [] in
-  let coarse = Csr.of_edges ~vertex_weights ~n:n' edge_list in
+  let coarse =
+    Csr.of_edge_arrays ~vertex_weights ~edge_weights:cwgt ~n:n' ~len:!k csrc cdst
+  in
   { coarse; fine_to_coarse; coarse_to_fine }
 
 let project_to_fine c assign =

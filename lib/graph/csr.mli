@@ -28,8 +28,40 @@ val of_edges : ?vertex_weights:int array -> n:int -> (int * int * int) list -> t
 val of_unweighted_edges : n:int -> (int * int) list -> t
 (** [of_unweighted_edges ~n edges] gives every edge weight 1. *)
 
+val of_edge_arrays :
+  ?vertex_weights:int array ->
+  ?edge_weights:int array ->
+  n:int ->
+  ?len:int ->
+  int array ->
+  int array ->
+  t
+(** [of_edge_arrays ~n src dst] builds from parallel endpoint arrays:
+    the [k]-th edge is [{src.(k), dst.(k)}] with weight
+    [edge_weights.(k)] (default 1). Only the first [len] entries are
+    read (default: the full arrays), so callers can pass growable
+    buffers without trimming. Semantically identical to {!of_edges} on
+    the same edge multiset — parallel edges merge, slices sort — but
+    allocates no intermediate boxed tuples, which is what makes
+    million-edge ingestion feasible.
+    @raise Invalid_argument as {!of_edges}. *)
+
 val empty : int -> t
 (** [empty n] has [n] vertices (unit weight) and no edges. *)
+
+(** {1 Scale limits}
+
+    Neighbour ids and adjacency offsets are stored compactly (int32),
+    bounding representable graphs. Ingestion boundaries validate
+    declared sizes against these limits {e before} allocating, so a
+    hostile header fails with one diagnostic instead of an OOM. *)
+
+val max_vertices : int
+val max_edges : int
+
+val validate_scale : n:int -> m:int -> unit
+(** @raise Failure "graph too large: ..." when either bound is
+    exceeded. *)
 
 (** {1 Size and weights} *)
 

@@ -16,25 +16,59 @@ let split_ws line =
    '\n' alone leaves a '\r' glued to the last token of every line, which
    then fails int_of_string. Strip exactly one trailing '\r' per line —
    a bare '\r' elsewhere is still an error, as it should be. *)
-let split_lines s =
-  String.split_on_char '\n' s
-  |> List.map (fun line ->
-         let n = String.length line in
-         if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line)
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
 
-let of_edge_list_string s =
-  let lines = split_lines s in
+(* Both parsers run over an abstract line iterator so the in-memory
+   string entry points and the streaming file readers share one
+   grammar: the string version walks '\n' positions, the file version
+   reads [input_line] at a time — a multi-GB file never materialises
+   as one string (the old reader slurped the whole file with
+   [really_input_string]). *)
+let iter_string_lines s f =
+  let n = String.length s in
+  let start = ref 0 in
+  while !start <= n do
+    let stop =
+      match String.index_from_opt s !start '\n' with Some i -> i | None -> n
+    in
+    f (strip_cr (String.sub s !start (stop - !start)));
+    start := stop + 1
+  done
+
+let iter_file_lines path f =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          f (strip_cr (input_line ic))
+        done
+      with End_of_file -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Edge-list format                                                    *)
+
+let parse_edge_list iter_lines =
   let fail lineno msg = failwith (Printf.sprintf "edge list, line %d: %s" lineno msg) in
   let parse_int lineno tok =
     match int_of_string_opt tok with
     | Some v -> v
     | None -> fail lineno (Printf.sprintf "not an integer: %S" tok)
   in
+  let lineno = ref 0 in
   let header = ref None in
-  let edges = ref [] in
-  List.iteri
-    (fun i line ->
-      let lineno = i + 1 in
+  let builder = ref None in
+  let parsed_edges = ref 0 in
+  (* Line-number Invalid_argument raised by the builder (bad endpoint,
+     bad weight) so the CLI's one-line diagnostic points at the input. *)
+  let add b ?weight u v =
+    try Builder.add_edge ?weight b u v with Invalid_argument msg -> fail !lineno msg
+  in
+  iter_lines (fun line ->
+      incr lineno;
       let line =
         match String.index_opt line '#' with
         | Some k -> String.sub line 0 k
@@ -43,41 +77,55 @@ let of_edge_list_string s =
       match split_ws line with
       | [] -> ()
       | toks -> (
-          match !header with
+          match !builder with
           | None -> (
               match toks with
-              | [ a; b ] -> header := Some (parse_int lineno a, parse_int lineno b)
-              | _ -> fail lineno "expected header \"n m\"")
-          | Some _ -> (
-              match toks with
               | [ a; b ] ->
-                  edges := (parse_int lineno a, parse_int lineno b, 1) :: !edges
-              | [ a; b; w ] ->
-                  edges := (parse_int lineno a, parse_int lineno b, parse_int lineno w) :: !edges
-              | _ -> fail lineno "expected \"u v [w]\"")))
-    lines;
-  match !header with
-  | None -> failwith "edge list: missing header"
-  | Some (n, m) ->
-      if List.length !edges <> m then
+                  let n = parse_int !lineno a and m = parse_int !lineno b in
+                  if n < 0 then fail !lineno "negative vertex count";
+                  if m < 0 then fail !lineno "negative edge count";
+                  (* Validate the declared sizes before allocating
+                     anything proportional to them: a hostile header
+                     must die with one diagnostic, not an OOM. *)
+                  Csr.validate_scale ~n ~m;
+                  header := Some (n, m);
+                  builder := Some (Builder.create ~expected_edges:(max 16 m) n)
+              | _ -> fail !lineno "expected header \"n m\"")
+          | Some b -> (
+              match toks with
+              | [ x; y ] ->
+                  add b (parse_int !lineno x) (parse_int !lineno y);
+                  incr parsed_edges
+              | [ x; y; w ] ->
+                  add b
+                    ~weight:(parse_int !lineno w)
+                    (parse_int !lineno x) (parse_int !lineno y);
+                  incr parsed_edges
+              | _ -> fail !lineno "expected \"u v [w]\"")));
+  match (!header, !builder) with
+  | Some (_, m), Some b ->
+      if !parsed_edges <> m then
         failwith
-          (Printf.sprintf "edge list: header declares %d edges, found %d" m
-             (List.length !edges));
-      Csr.of_edges ~n (List.rev !edges)
+          (Printf.sprintf "edge list: header declares %d edges, found %d" m !parsed_edges);
+      Builder.build b
+  | _ -> failwith "edge list: missing header"
+
+let of_edge_list_string s = parse_edge_list (iter_string_lines s)
+let read_edge_list path = parse_edge_list (iter_file_lines path)
 
 let write_edge_list path g =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_edge_list_string g))
+    (fun () ->
+      (* Stream straight to the channel — no whole-graph string. *)
+      Printf.fprintf oc "%d %d\n" (Csr.n_vertices g) (Csr.n_edges g);
+      Csr.iter_edges g (fun u v w ->
+          if w = 1 then Printf.fprintf oc "%d %d\n" u v
+          else Printf.fprintf oc "%d %d %d\n" u v w))
 
-let read_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let read_edge_list path = of_edge_list_string (read_file path)
+(* ------------------------------------------------------------------ *)
+(* METIS format                                                        *)
 
 let to_metis_string g =
   let n = Csr.n_vertices g in
@@ -105,89 +153,97 @@ let to_metis_string g =
   done;
   Buffer.contents buf
 
-let of_metis_string s =
-  (* Empty lines are meaningful after the header (an isolated vertex has
-     an empty adjacency line), so only comment lines are dropped here;
-     leading blanks and trailing blanks are trimmed around the payload.
-     METIS comments start with '%'; '#' is accepted too since several
-     tools emit it. *)
-  let lines =
-    split_lines s
-    |> List.mapi (fun i l -> (i + 1, l))
-    |> List.filter (fun (_, l) ->
-           let l = String.trim l in
-           l = "" || (l.[0] <> '%' && l.[0] <> '#'))
-  in
-  let rec drop_leading_blanks = function
-    | (_, l) :: rest when String.trim l = "" -> drop_leading_blanks rest
-    | lines -> lines
-  in
-  let lines = drop_leading_blanks lines in
+(* Single forward pass: comments are dropped wherever they appear,
+   blanks before the header are skipped, then the header line, then
+   exactly n adjacency lines (an isolated vertex has an empty line),
+   then only blank lines may follow. METIS comments start with '%';
+   '#' is accepted too since several tools emit it. *)
+let parse_metis iter_lines =
   let fail lineno msg = failwith (Printf.sprintf "metis, line %d: %s" lineno msg) in
-  match lines with
-  | [] -> failwith "metis: empty file"
-  | (hline, header) :: rest ->
-      let toks = split_ws header in
-      let parse_int lineno tok =
-        match int_of_string_opt tok with
-        | Some v -> v
-        | None -> fail lineno (Printf.sprintf "not an integer: %S" tok)
-      in
-      let n, m, fmt =
-        match toks with
-        | [ n; m ] -> (parse_int hline n, parse_int hline m, "0")
-        | [ n; m; fmt ] -> (parse_int hline n, parse_int hline m, fmt)
-        | _ -> fail hline "expected \"n m [fmt]\""
-      in
-      let edge_weighted =
-        match fmt with
-        | "0" | "00" | "000" -> false
-        | "1" | "01" | "001" -> true
-        | _ -> fail hline (Printf.sprintf "unsupported fmt %S" fmt)
-      in
-      (* Exactly n adjacency lines follow; anything beyond must be blank
-         (a trailing newline shows up as one extra empty line). *)
-      let rec split_at k acc = function
-        | rest when k = 0 -> (List.rev acc, rest)
-        | [] -> (List.rev acc, [])
-        | line :: rest -> split_at (k - 1) (line :: acc) rest
-      in
-      let adjacency, excess = split_at n [] rest in
-      if List.length adjacency <> n then
+  let parse_int lineno tok =
+    match int_of_string_opt tok with
+    | Some v -> v
+    | None -> fail lineno (Printf.sprintf "not an integer: %S" tok)
+  in
+  let lineno = ref 0 in
+  (* n, m, edge_weighted, builder, adjacency lines consumed so far *)
+  let state = ref None in
+  let seen_any = ref false in
+  iter_lines (fun line ->
+      incr lineno;
+      let trimmed = String.trim line in
+      let comment = trimmed <> "" && (trimmed.[0] = '%' || trimmed.[0] = '#') in
+      if not comment then
+        match !state with
+        | None ->
+            if trimmed <> "" then begin
+              seen_any := true;
+              let toks = split_ws line in
+              let n, m, fmt =
+                match toks with
+                | [ n; m ] -> (parse_int !lineno n, parse_int !lineno m, "0")
+                | [ n; m; fmt ] -> (parse_int !lineno n, parse_int !lineno m, fmt)
+                | _ -> fail !lineno "expected \"n m [fmt]\""
+              in
+              let edge_weighted =
+                match fmt with
+                | "0" | "00" | "000" -> false
+                | "1" | "01" | "001" -> true
+                | _ -> fail !lineno (Printf.sprintf "unsupported fmt %S" fmt)
+              in
+              if n < 0 then fail !lineno "negative vertex count";
+              if m < 0 then fail !lineno "negative edge count";
+              Csr.validate_scale ~n ~m;
+              state :=
+                Some (n, m, edge_weighted, Builder.create ~expected_edges:(max 16 m) n, ref 0)
+            end
+        | Some (n, _, edge_weighted, b, consumed) ->
+            if !consumed >= n then begin
+              if trimmed <> "" then fail !lineno "content after the adjacency lines"
+            end
+            else begin
+              let u = !consumed in
+              incr consumed;
+              let lineno = !lineno in
+              let toks = List.map (parse_int lineno) (split_ws line) in
+              let add v w =
+                if v < 1 || v > n then fail lineno "neighbour out of range";
+                if v - 1 > u then
+                  try Builder.add_edge ~weight:w b u (v - 1)
+                  with Invalid_argument msg -> fail lineno msg
+              in
+              let rec consume = function
+                | [] -> ()
+                | v :: rest when not edge_weighted ->
+                    add v 1;
+                    consume rest
+                | v :: w :: rest ->
+                    add v w;
+                    consume rest
+                | [ _ ] -> fail lineno "dangling neighbour without weight"
+              in
+              consume toks
+            end);
+  match !state with
+  | None ->
+      if !seen_any then assert false;
+      failwith "metis: empty file"
+  | Some (n, m, _, b, consumed) ->
+      if !consumed <> n then
         failwith
           (Printf.sprintf "metis: header declares %d vertices, found %d adjacency lines" n
-             (List.length adjacency));
-      List.iter
-        (fun (lineno, line) ->
-          if String.trim line <> "" then fail lineno "content after the adjacency lines")
-        excess;
-      let rest = adjacency in
-      let edges = ref [] in
-      List.iteri
-        (fun i (lineno, line) ->
-          let u = i in
-          let toks = List.map (parse_int lineno) (split_ws line) in
-          let rec consume = function
-            | [] -> ()
-            | v :: rest when not edge_weighted ->
-                if v < 1 || v > n then fail lineno "neighbour out of range";
-                if v - 1 > u then edges := (u, v - 1, 1) :: !edges;
-                consume rest
-            | v :: w :: rest ->
-                if v < 1 || v > n then fail lineno "neighbour out of range";
-                if v - 1 > u then edges := (u, v - 1, w) :: !edges;
-                consume rest
-            | [ _ ] -> fail lineno "dangling neighbour without weight"
-          in
-          consume toks)
-        rest;
-      let g = Csr.of_edges ~n (List.rev !edges) in
+             !consumed);
+      let g = Builder.build b in
       if Csr.n_edges g <> m then
         failwith
           (Printf.sprintf "metis: header declares %d edges, graph has %d" m (Csr.n_edges g));
       g
 
-let read_metis path = of_metis_string (read_file path)
+let of_metis_string s = parse_metis (iter_string_lines s)
+let read_metis path = parse_metis (iter_file_lines path)
+
+(* ------------------------------------------------------------------ *)
+(* DOT                                                                 *)
 
 let to_dot ?highlight_cut g =
   let buf = Buffer.create 1024 in

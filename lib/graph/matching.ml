@@ -12,15 +12,27 @@ let of_mate mate =
 
 let random_maximal rng g =
   let n = Csr.n_vertices g in
-  let edges = Array.of_list (Csr.edges g) in
-  Rng.shuffle_in_place rng edges;
+  let m = Csr.n_edges g in
+  (* Unboxed endpoint arrays plus a shuffled index permutation instead
+     of a shuffled tuple array: same RNG draw sequence (one draw per
+     position, same length), same visit order, no per-edge boxing. *)
+  let esrc = Array.make (max 1 m) 0 and edst = Array.make (max 1 m) 0 in
+  let k = ref 0 in
+  Csr.iter_edges g (fun u v _ ->
+      esrc.(!k) <- u;
+      edst.(!k) <- v;
+      incr k);
+  let perm = Array.init m (fun i -> i) in
+  Rng.shuffle_in_place rng perm;
   let mate = Array.make n (-1) in
   Array.iter
-    (fun (u, v, _) -> if mate.(u) < 0 && mate.(v) < 0 then begin
-         mate.(u) <- v;
-         mate.(v) <- u
-       end)
-    edges;
+    (fun e ->
+      let u = esrc.(e) and v = edst.(e) in
+      if mate.(u) < 0 && mate.(v) < 0 then begin
+        mate.(u) <- v;
+        mate.(v) <- u
+      end)
+    perm;
   of_mate mate
 
 let heavy_edge rng g =

@@ -16,17 +16,17 @@ let bfs_distances g src =
 
 let bfs_order g src =
   let n = Csr.n_vertices g in
-  let seen = Array.make n false in
+  let seen = Bitset.create n in
   let queue = Queue.create () in
   let order = ref [] in
-  seen.(src) <- true;
+  Bitset.set seen src;
   Queue.add src queue;
   while not (Queue.is_empty queue) do
     let u = Queue.take queue in
     order := u :: !order;
     Csr.iter_neighbors g u (fun v _ ->
-        if not seen.(v) then begin
-          seen.(v) <- true;
+        if not (Bitset.get seen v) then begin
+          Bitset.set seen v;
           Queue.add v queue
         end)
   done;
@@ -34,7 +34,7 @@ let bfs_order g src =
 
 let dfs_order g src =
   let n = Csr.n_vertices g in
-  let seen = Array.make n false in
+  let seen = Bitset.create n in
   let stack = ref [ src ] in
   let order = ref [] in
   while !stack <> [] do
@@ -42,13 +42,14 @@ let dfs_order g src =
     | [] -> ()
     | u :: rest ->
         stack := rest;
-        if not seen.(u) then begin
-          seen.(u) <- true;
+        if not (Bitset.get seen u) then begin
+          Bitset.set seen u;
           order := u :: !order;
           (* Push in increasing order so the largest id is on top; with
              the pop order this makes exploration decreasing and
              deterministic. *)
-          Csr.iter_neighbors g u (fun v _ -> if not seen.(v) then stack := v :: !stack)
+          Csr.iter_neighbors g u (fun v _ ->
+              if not (Bitset.get seen v) then stack := v :: !stack)
         end
   done;
   List.rev !order
@@ -110,18 +111,18 @@ let is_bipartite g =
 
 let spanning_forest g =
   let n = Csr.n_vertices g in
-  let seen = Array.make n false in
+  let seen = Bitset.create n in
   let queue = Queue.create () in
   let edges = ref [] in
   for s = 0 to n - 1 do
-    if not seen.(s) then begin
-      seen.(s) <- true;
+    if not (Bitset.get seen s) then begin
+      Bitset.set seen s;
       Queue.add s queue;
       while not (Queue.is_empty queue) do
         let u = Queue.take queue in
         Csr.iter_neighbors g u (fun v _ ->
-            if not seen.(v) then begin
-              seen.(v) <- true;
+            if not (Bitset.get seen v) then begin
+              Bitset.set seen v;
               edges := (u, v) :: !edges;
               Queue.add v queue
             end)

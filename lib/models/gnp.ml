@@ -9,7 +9,28 @@ let generate rng ~n ~p =
   if not (p >= 0. && p <= 1.) then invalid_arg "Gnp.generate: p out of [0,1]";
   if p = 0. || n < 2 then Csr.empty (max n 0)
   else begin
-    let edges = ref [] in
+    (* Growable unboxed endpoint arrays: the boxed (u, v, 1) list of the
+       old path tripled the resident size of multi-million-edge draws. *)
+    let cap0 =
+      let est = p *. float_of_int n *. float_of_int (n - 1) /. 2. in
+      max 1024 (min 16_777_216 (int_of_float (1.1 *. est) + 16))
+    in
+    let esrc = ref (Array.make cap0 0) and edst = ref (Array.make cap0 0) in
+    let len = ref 0 in
+    let push u v =
+      if !len = Array.length !esrc then begin
+        let grow a =
+          let a' = Array.make (2 * Array.length a) 0 in
+          Array.blit a 0 a' 0 !len;
+          a'
+        in
+        esrc := grow !esrc;
+        edst := grow !edst
+      end;
+      !esrc.(!len) <- u;
+      !edst.(!len) <- v;
+      incr len
+    in
     (* Walk row by row: for row u the candidate pairs are (u, u+1..n-1). *)
     let u = ref 0 and offset = ref 0 in
     (* (u, u+1+offset) is the next candidate pair. *)
@@ -30,10 +51,10 @@ let generate rng ~n ~p =
     in
     advance (Rng.geometric_skip rng p);
     while !u < n - 1 do
-      edges := (!u, !u + 1 + !offset, 1) :: !edges;
+      push !u (!u + 1 + !offset);
       advance (1 + Rng.geometric_skip rng p)
     done;
-    Csr.of_edges ~n !edges
+    Csr.of_edge_arrays ~n ~len:!len !esrc !edst
   end
 
 let p_for_average_degree ~n ~avg_degree =

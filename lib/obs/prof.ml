@@ -134,9 +134,13 @@ let status_kb field =
         match input_line ic with
         | exception End_of_file -> None
         | line when String.length line > plen && String.sub line 0 plen = prefix ->
-            (* "VmRSS:      123456 kB" *)
+            (* "VmRSS:\t   123456 kB" — the separator after the colon is
+               a tab, so split on both; splitting on spaces alone left a
+               lone "\t" token that failed int_of_string and made every
+               RSS read come back None on real Linux. *)
             String.sub line plen (String.length line - plen)
             |> String.split_on_char ' '
+            |> List.concat_map (String.split_on_char '\t')
             |> List.find_opt (fun w -> w <> "" && w <> "kB")
             |> fun w -> Option.bind w int_of_string_opt
         | _ -> scan ()

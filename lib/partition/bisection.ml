@@ -81,35 +81,106 @@ let pp fmt t =
   Format.fprintf fmt "bisection: cut %d, sides %d/%d%s" t.cut_val c0 c1
     (if is_balanced t then "" else " (UNBALANCED)")
 
+(* Each move picks the (max gain, lowest index) vertex of the heavy
+   side. The old implementation rescanned all n vertices per move —
+   O(n * moves), quadratic when projection leaves a large imbalance.
+   A lazy-deletion binary max-heap keyed (gain desc, index asc) makes
+   it O((n + moves * degree) log n) and selects the exact same vertex
+   sequence: every heavy-side vertex always has an entry carrying its
+   current gain (pushed at init and on every gain change), so the best
+   non-stale entry is precisely the scan's first-max-wins choice.
+   Moving a vertex shrinks the imbalance by 2 and we stop before it
+   reaches zero, so the heavy side — and the heap's home side — never
+   flips mid-run. *)
 let rebalance_in_place g side =
   validate_sides g side;
   let c0, c1 = side_counts side in
-  let c0 = ref c0 and c1 = ref c1 in
-  (* Maintain gains incrementally: moving u flips the contribution of
-     each incident edge, changing neighbour gains by +-2w. *)
-  let gains = all_gains g side in
-  let n = Array.length side in
-  while abs (!c0 - !c1) >= 2 do
-    let from_side = if !c0 > !c1 then 0 else 1 in
-    let best = ref (-1) in
+  let diff = abs (c0 - c1) in
+  if diff >= 2 then begin
+    let from_side = if c0 > c1 then 0 else 1 in
+    let moves = diff / 2 in
+    (* Maintain gains incrementally: moving u flips the contribution of
+       each incident edge, changing neighbour gains by +-2w. *)
+    let gains = all_gains g side in
+    let n = Array.length side in
+    let hg = ref (Array.make (max 16 n) 0) in
+    let hv = ref (Array.make (max 16 n) 0) in
+    let len = ref 0 in
+    let before g1 v1 g2 v2 = g1 > g2 || (g1 = g2 && v1 < v2) in
+    let swap i j =
+      let h = !hg and v = !hv in
+      let tg = h.(i) and tv = v.(i) in
+      h.(i) <- h.(j);
+      v.(i) <- v.(j);
+      h.(j) <- tg;
+      v.(j) <- tv
+    in
+    let push gval vtx =
+      if !len = Array.length !hg then begin
+        let grow a =
+          let a' = Array.make (2 * Array.length a) 0 in
+          Array.blit a 0 a' 0 !len;
+          a'
+        in
+        hg := grow !hg;
+        hv := grow !hv
+      end;
+      let h = !hg and v = !hv in
+      h.(!len) <- gval;
+      v.(!len) <- vtx;
+      incr len;
+      let i = ref (!len - 1) in
+      while
+        !i > 0
+        &&
+        let p = (!i - 1) / 2 in
+        before h.(!i) v.(!i) h.(p) v.(p)
+      do
+        let p = (!i - 1) / 2 in
+        swap !i p;
+        i := p
+      done
+    in
+    let pop () =
+      let h = !hg and v = !hv in
+      let top_g = h.(0) and top_v = v.(0) in
+      decr len;
+      h.(0) <- h.(!len);
+      v.(0) <- v.(!len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let best = ref !i in
+        if l < !len && before h.(l) v.(l) h.(!best) v.(!best) then best := l;
+        if r < !len && before h.(r) v.(r) h.(!best) v.(!best) then best := r;
+        if !best = !i then continue := false
+        else begin
+          swap !i !best;
+          i := !best
+        end
+      done;
+      (top_g, top_v)
+    in
     for v = 0 to n - 1 do
-      if side.(v) = from_side && (!best < 0 || gains.(v) > gains.(!best)) then best := v
+      if side.(v) = from_side then push gains.(v) v
     done;
-    let v = !best in
-    side.(v) <- 1 - from_side;
-    if from_side = 0 then begin
-      decr c0;
-      incr c1
-    end
-    else begin
-      decr c1;
-      incr c0
-    end;
-    gains.(v) <- -gains.(v);
-    Csr.iter_neighbors g v (fun u w ->
-        if side.(u) = side.(v) then gains.(u) <- gains.(u) - (2 * w)
-        else gains.(u) <- gains.(u) + (2 * w))
-  done
+    for _ = 1 to moves do
+      (* Skip stale entries: valid iff the vertex still sits on the
+         heavy side and the entry carries its current gain. *)
+      let rec next () =
+        let gv, v = pop () in
+        if side.(v) = from_side && gains.(v) = gv then v else next ()
+      in
+      let v = next () in
+      side.(v) <- 1 - from_side;
+      gains.(v) <- -gains.(v);
+      Csr.iter_neighbors g v (fun u w ->
+          if side.(u) = side.(v) then gains.(u) <- gains.(u) - (2 * w)
+          else gains.(u) <- gains.(u) + (2 * w);
+          if side.(u) = from_side then push gains.(u) u)
+    done
+  end
 
 let rebalance g side =
   let side = Array.copy side in

@@ -56,7 +56,7 @@ end
 (* ------------------------------------------------------------------ *)
 (* Wire vocabularies                                                   *)
 
-type algorithm = [ `Kl | `Sa | `Ckl | `Csa | `Fm | `Multilevel ]
+type algorithm = [ `Kl | `Sa | `Ckl | `Csa | `Fm | `Multilevel | `Mlfm ]
 
 let algorithm_id = function
   | `Kl -> "kl"
@@ -65,6 +65,7 @@ let algorithm_id = function
   | `Csa -> "csa"
   | `Fm -> "fm"
   | `Multilevel -> "mlkl"
+  | `Mlfm -> "mlfm"
 
 let algorithm_of_id s =
   match String.lowercase_ascii s with
@@ -74,6 +75,7 @@ let algorithm_of_id s =
   | "csa" -> Some `Csa
   | "fm" -> Some `Fm
   | "mlkl" | "multilevel" -> Some `Multilevel
+  | "mlfm" -> Some `Mlfm
   | _ -> None
 
 type graph_format = Edge_list | Metis
@@ -300,7 +302,7 @@ let parse_solve id j =
     | Some (Json.String s) -> (
         match algorithm_of_id s with
         | Some a -> Ok a
-        | None -> bad "solve: unknown algorithm %S (kl sa ckl csa fm mlkl)" s)
+        | None -> bad "solve: unknown algorithm %S (kl sa ckl csa fm mlkl mlfm)" s)
     | Some _ -> Error (Bad_request, "solve: \"algorithm\" must be a string")
   in
   let* starts = int_field j "starts" 2 in

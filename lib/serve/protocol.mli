@@ -41,7 +41,7 @@ end
 
 (** {1 Requests} *)
 
-type algorithm = [ `Kl | `Sa | `Ckl | `Csa | `Fm | `Multilevel ]
+type algorithm = [ `Kl | `Sa | `Ckl | `Csa | `Fm | `Multilevel | `Mlfm ]
 (** Same constructors as [Gbisect.algorithm]; redeclared so this
     library does not depend on the umbrella module. *)
 

@@ -251,6 +251,48 @@ let serve_tests =
         check_int "--timeout 0" 2 c3);
   ]
 
+let scale_tests =
+  [
+    case "scale run writes the artifact and exits 0" (fun () ->
+        let out = Filename.temp_file "gbisect_scale" ".json" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove out)
+          (fun () ->
+            let code, stdout, stderr =
+              run_cli
+                [
+                  "scale"; "-n"; "2000"; "--degree"; "4"; "--seed"; "7"; "-a"; "mlfm";
+                  "--max-rss"; "4096"; "--out"; out;
+                ]
+            in
+            check_int "exit 0" 0 code;
+            check_int "silent stderr" 0 (List.length (gbisect_lines stderr));
+            check_bool "summary line" true (contains stdout "scale: mlfm, 2000 vertices");
+            let artifact = read_file out in
+            check_bool "schema versioned" true (contains artifact "\"schema_version\":");
+            check_bool "host fingerprint" true (contains artifact "\"hostname\":");
+            check_bool "rss recorded" true (contains artifact "\"peak_rss_bytes\":")));
+    case "scale over an impossible --max-rss exits 1" (fun () ->
+        let code, _, stderr =
+          run_cli [ "scale"; "-n"; "2000"; "--seed"; "7"; "--max-rss"; "1" ]
+        in
+        check_int "exit 1" 1 code;
+        check_int "one diagnostic" 1 (List.length (gbisect_lines stderr));
+        check_bool "names the budget" true (contains stderr "--max-rss"));
+    case "scale usage errors exit 2" (fun () ->
+        List.iter
+          (fun args ->
+            let code, _, _ = run_cli ("scale" :: args) in
+            check_int (String.concat " " args) 2 code)
+          [
+            [ "-n"; "1" ];
+            [ "--degree"; "0" ];
+            [ "-a"; "nope" ];
+            [ "--refine-passes"; "0" ];
+            [ "--grid"; "3" ];
+          ]);
+  ]
+
 let () =
   if not (Sys.file_exists exe) then (
     Printf.eprintf "test_cli: binary not found at %s\n" exe;
@@ -262,4 +304,5 @@ let () =
       ("perf", perf_tests);
       ("lint", lint_tests);
       ("serve", serve_tests);
+      ("scale", scale_tests);
     ]

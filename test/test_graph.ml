@@ -3,6 +3,7 @@
 
 module Graph = Gbisect.Graph
 module Builder = Gbisect.Builder
+module Bitset = Gbisect.Bitset
 module Classic = Gbisect.Classic
 module Traverse = Gbisect.Traverse
 module Gio = Gbisect.Graph_io
@@ -811,6 +812,198 @@ let product_properties =
         Graph.n_edges (Product.complement g) = (n * (n - 1) / 2) - Graph.n_edges g);
   ]
 
+(* --- of_edge_arrays --------------------------------------------------- *)
+
+let edge_arrays_tests =
+  [
+    case "matches of_edges on the same multiset" (fun () ->
+        let g = Graph.of_edges ~n:4 [ (0, 1, 2); (2, 3, 1); (1, 0, 3) ] in
+        let g' =
+          Graph.of_edge_arrays ~edge_weights:[| 2; 1; 3 |] ~n:4 [| 0; 2; 1 |]
+            [| 1; 3; 0 |]
+        in
+        check_bool "equal" true (Graph.equal g g'));
+    case "len reads only the prefix of growable buffers" (fun () ->
+        let src = [| 0; 1; 9; 9 |] and dst = [| 1; 2; 9; 9 |] in
+        let g = Graph.of_edge_arrays ~n:3 ~len:2 src dst in
+        check_int "m" 2 (Graph.n_edges g);
+        check_bool "path" true (Graph.equal g (Graph.of_unweighted_edges ~n:3 [ (0, 1); (1, 2) ])));
+    case "vertex weights flow through" (fun () ->
+        let g = Graph.of_edge_arrays ~vertex_weights:[| 5; 7 |] ~n:2 [| 0 |] [| 1 |] in
+        check_int "total" 12 (Graph.total_vertex_weight g));
+    case "bad inputs are rejected" (fun () ->
+        Alcotest.check_raises "len" (Invalid_argument "Csr.of_edge_arrays: len out of range")
+          (fun () -> ignore (Graph.of_edge_arrays ~n:2 ~len:3 [| 0 |] [| 1 |]));
+        Alcotest.check_raises "mismatch"
+          (Invalid_argument "Csr.of_edge_arrays: src/dst length mismatch") (fun () ->
+            ignore (Graph.of_edge_arrays ~n:2 [| 0; 1 |] [| 1 |]));
+        (* content errors share of_edges's diagnostics (documented) *)
+        Alcotest.check_raises "self-loop" (Invalid_argument "Csr.of_edges: self-loop")
+          (fun () -> ignore (Graph.of_edge_arrays ~n:2 [| 1 |] [| 1 |])));
+    Helpers.qtest ~count:100 "agrees with of_edges on any graph" (Helpers.gen_graph ())
+      (fun g ->
+        let m = Graph.n_edges g in
+        let src = Array.make (max 1 m) 0 and dst = Array.make (max 1 m) 0 in
+        let wgt = Array.make (max 1 m) 1 in
+        let k = ref 0 in
+        Graph.iter_edges g (fun u v w ->
+            src.(!k) <- u;
+            dst.(!k) <- v;
+            wgt.(!k) <- w;
+            incr k);
+        let vertex_weights =
+          Array.init (Graph.n_vertices g) (Graph.vertex_weight g)
+        in
+        let g' =
+          Graph.of_edge_arrays ~vertex_weights ~edge_weights:wgt
+            ~n:(Graph.n_vertices g) ~len:m src dst
+        in
+        Helpers.check_graph_ok g';
+        Graph.equal g g');
+  ]
+
+(* --- Bitset ------------------------------------------------------------ *)
+
+let bitset_tests =
+  [
+    case "create, set, clear, assign" (fun () ->
+        let b = Bitset.create 70 in
+        check_int "len" 70 (Bitset.length b);
+        check_bool "clear at start" false (Bitset.get b 63);
+        Bitset.set b 63;
+        Bitset.set b 64;
+        check_bool "bit 63" true (Bitset.get b 63);
+        check_bool "bit 64 (word boundary)" true (Bitset.get b 64);
+        check_int "popcount" 2 (Bitset.popcount b);
+        Bitset.clear b 63;
+        check_bool "cleared" false (Bitset.get b 63);
+        Bitset.assign b 0 true;
+        Bitset.assign b 64 false;
+        check_int "popcount after assign" 1 (Bitset.popcount b));
+    case "fill sets and clears everything" (fun () ->
+        let b = Bitset.create 130 in
+        Bitset.fill b true;
+        check_int "all set" 130 (Bitset.popcount b);
+        Bitset.fill b false;
+        check_int "all clear" 0 (Bitset.popcount b));
+    case "of_sides rejects non-binary entries" (fun () ->
+        Alcotest.check_raises "entry"
+          (Invalid_argument "Bitset.of_sides: sides must be 0 or 1")
+          (fun () -> ignore (Bitset.of_sides [| 0; 2 |])));
+    Helpers.qtest_pair ~count:200 "of_sides/to_sides round-trips"
+      QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 1))
+      (fun l -> String.concat "" (List.map string_of_int l))
+      (fun l ->
+        let sides = Array.of_list l in
+        let b = Bitset.of_sides sides in
+        Bitset.to_sides b = sides
+        && Bitset.popcount b = Array.fold_left ( + ) 0 sides);
+  ]
+
+(* --- Scale limits ------------------------------------------------------ *)
+
+let scale_tests =
+  [
+    case "limits are sane" (fun () ->
+        check_bool "vertices" true (Graph.max_vertices > 1_000_000);
+        check_bool "edges" true (Graph.max_edges > 10_000_000);
+        (* in-range sizes pass silently *)
+        Graph.validate_scale ~n:1_000_000 ~m:5_000_000);
+    case "validate_scale rejects oversized declarations" (fun () ->
+        List.iter
+          (fun (n, m) ->
+            match Graph.validate_scale ~n ~m with
+            | exception Failure msg ->
+                check_bool "diagnostic names the limit" true
+                  (Helpers.contains msg "graph too large")
+            | () -> Alcotest.failf "accepted n=%d m=%d" n m)
+          [ (Graph.max_vertices + 1, 0); (2, Graph.max_edges + 1) ]);
+    case "parsers reject hostile headers before allocating" (fun () ->
+        (* a header declaring 10^12 vertices must fail with one
+           diagnostic, not attempt the allocation *)
+        List.iter
+          (fun s ->
+            match Gio.of_edge_list_string s with
+            | exception Failure msg ->
+                check_bool "edge list" true (Helpers.contains msg "graph too large")
+            | _ -> Alcotest.failf "accepted %S" s)
+          [ "1000000000000 1\n0 1\n"; "2 1000000000000\n0 1\n" ];
+        match Gio.of_metis_string "1000000000000 1\n" with
+        | exception Failure msg ->
+            check_bool "metis" true (Helpers.contains msg "graph too large")
+        | _ -> Alcotest.fail "metis accepted oversized header");
+  ]
+
+(* --- Streaming readers vs in-memory parsers ---------------------------- *)
+
+let with_temp_file contents f =
+  let path = Filename.temp_file "gbisect_stream" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+          output_string oc contents);
+      f path)
+
+let streaming_tests =
+  [
+    case "file reader matches string parser on awkward bytes" (fun () ->
+        (* CRLF, comments, blank lines, missing trailing newline *)
+        List.iter
+          (fun s ->
+            with_temp_file s (fun path ->
+                check_bool "same graph" true
+                  (Graph.equal (Gio.read_edge_list path) (Gio.of_edge_list_string s))))
+          [
+            "3 2\r\n0 1\r\n1 2\r\n";
+            "# c\n3 2\n\n0 1\n1 2";
+            "3 2\n0 1\n1 2  # trailing\n";
+          ]);
+    case "metis file reader matches string parser" (fun () ->
+        List.iter
+          (fun s ->
+            with_temp_file s (fun path ->
+                check_bool "same graph" true
+                  (Graph.equal (Gio.read_metis path) (Gio.of_metis_string s))))
+          [ "% c\r\n4 4\r\n2 3\r\n1 3\r\n1 2 4\r\n3\r\n"; "2 1\n2\n1" ]);
+    case "file reader fails like the string parser on bad input" (fun () ->
+        List.iter
+          (fun s ->
+            let string_msg =
+              match Gio.of_edge_list_string s with
+              | exception Failure m -> m
+              | _ -> Alcotest.failf "string parser accepted %S" s
+            in
+            with_temp_file s (fun path ->
+                match Gio.read_edge_list path with
+                | exception Failure m ->
+                    Alcotest.(check string) "same diagnostic" string_msg m
+                | _ -> Alcotest.failf "file parser accepted %S" s))
+          [ "2 1\n0\n"; "2 2\n0 1\n"; "2 1\n0 5\n" ]);
+    Helpers.qtest ~count:100 "streaming edge-list read = in-memory parse"
+      (Helpers.gen_graph ())
+      (fun g ->
+        let s = Gio.to_edge_list_string g in
+        with_temp_file s (fun path ->
+            Graph.equal (Gio.read_edge_list path) (Gio.of_edge_list_string s)));
+    Helpers.qtest ~count:100 "streaming metis read = in-memory parse"
+      (Helpers.gen_graph ())
+      (fun g ->
+        let s = Gio.to_metis_string g in
+        with_temp_file s (fun path ->
+            Graph.equal (Gio.read_metis path) (Gio.of_metis_string s)));
+    Helpers.qtest ~count:60 "streaming write then read round-trips"
+      (Helpers.gen_graph ())
+      (fun g ->
+        let path = Filename.temp_file "gbisect_stream" ".txt" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Gio.write_edge_list path g;
+            Graph.equal g (Gio.read_edge_list path)));
+  ]
+
 let () =
   Alcotest.run "graph"
     [
@@ -822,7 +1015,11 @@ let () =
       ("classic", classic_tests);
       ("traverse", traverse_tests);
       ("bridge properties", bridge_properties);
+      ("edge arrays", edge_arrays_tests);
+      ("bitset", bitset_tests);
+      ("scale limits", scale_tests);
       ("io", io_tests);
+      ("streaming", streaming_tests);
       ("matching", matching_tests);
       ("matching properties", matching_property_tests);
       ("matching multigraphs", matching_multigraph_tests);

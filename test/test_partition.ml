@@ -158,6 +158,45 @@ let rebalance_property_tests =
         let r = Helpers.rng () in
         let side = Helpers.balanced_sides r g in
         Bisection.rebalance g side = side);
+    Helpers.qtest ~count:300 "heap rebalance = greedy max-gain reference"
+      (Helpers.gen_graph ~max_n:30 ()) (fun g ->
+        (* Reference: until balanced, move the heavy-side vertex with
+           the highest gain (smallest index on ties), recomputing all
+           gains from scratch each step. The production version keeps
+           a lazy-deletion heap with incremental gain updates; the two
+           must pick the same vertices in the same order. *)
+        let reference side =
+          let side = Array.copy side in
+          let n = Graph.n_vertices g in
+          let counts () =
+            let c = Array.fold_left ( + ) 0 side in
+            (n - c, c)
+          in
+          let gain v =
+            let x = ref 0 in
+            Graph.iter_neighbors g v (fun u w ->
+                if side.(u) = side.(v) then x := !x - w else x := !x + w);
+            !x
+          in
+          let rec go () =
+            let c0, c1 = counts () in
+            if abs (c0 - c1) >= 2 then begin
+              let from_side = if c0 > c1 then 0 else 1 in
+              let best = ref (-1) in
+              for v = n - 1 downto 0 do
+                if side.(v) = from_side && (!best < 0 || gain v >= gain !best)
+                then best := v
+              done;
+              side.(!best) <- 1 - from_side;
+              go ()
+            end
+          in
+          go ();
+          side
+        in
+        let r = Helpers.rng () in
+        let side = Array.init (Graph.n_vertices g) (fun _ -> Rng.int r 2) in
+        Bisection.rebalance g side = reference side);
   ]
 
 (* --- initial bisections -------------------------------------------------------- *)
