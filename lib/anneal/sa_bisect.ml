@@ -114,4 +114,3 @@ let run ?config ?trace rng g =
   let side, stats = refine ?config ?trace rng g side0 in
   (Bisection.of_sides g side, stats)
 
-let plateau_acceptance stats = List.map (fun p -> p.Sa.acceptance) stats.sa.Sa.plateaus

@@ -52,9 +52,6 @@ val run :
 (** The paper's standard SA: {!refine} from a fresh random balanced
     bisection. *)
 
-val plateau_acceptance : stats -> float list
-(** The acceptance ratio of each temperature plateau, in schedule
-    order — the freezing criterion's input, from [stats.sa.plateaus]. *)
 
 (** {1 Reuse by other metaheuristics}
 

@@ -110,6 +110,12 @@ module Lint = Gb_lint.Lint
 module Lint_rules = Gb_lint.Rules
 (** The individual lint rules, pragmas, and the config allowlist. *)
 
+module Lint_program = Gb_lint.Program
+(** The whole-program analyzer behind [gbisect lint --program]:
+    per-module symbol tables, the cross-module call graph, and the
+    parallel-reachability pass that powers the interprocedural
+    race/RNG rules, [--why] chains and [--graph] DOT output. *)
+
 (** {1 Property fuzzing} *)
 
 module Fuzz = Gb_check.Fuzz

@@ -17,8 +17,6 @@
     ("kl.pass", "sa.plateau", "compaction.level") — the same data
     [bench/main.exe --out DIR] streams to [telemetry.jsonl]. *)
 
-val kl_passes : Profile.t -> string
-val sa_temperatures : Profile.t -> string
-val multilevel_levels : Profile.t -> string
 val figures : Profile.t -> string
-(** All three, concatenated (the registry's "figures" experiment). *)
+(** The KL-pass, SA-temperature and multilevel-level charts,
+    concatenated (the registry's "figures" experiment). *)

@@ -42,10 +42,9 @@ val collect : Profile.t -> seed_tag:string -> row list -> row_data list
     interrupted run resumed against the same store renders the table an
     uninterrupted run would have rendered, byte for byte. *)
 
-val format : title:string -> ?notes:string list -> row_data list -> string
-
 val run : Profile.t -> title:string -> ?notes:string list -> seed_tag:string -> row list -> string
-(** [collect] followed by [format]. *)
+(** [collect] followed by the table formatter. *)
 
 val header : string list
-(** The column header used by {!format} (exposed for tests). *)
+(** The column header used by the table formatter (exposed for the
+    tests). *)

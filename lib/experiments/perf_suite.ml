@@ -220,18 +220,6 @@ let bench_fuzz_generate ~runs =
         ignore (Sys.opaque_identity (Generators.generate ~seed))
       done)
 
-let bench_names =
-  [
-    "csr.build";
-    "fuzz.generate";
-    "gain_buckets.ops";
-    "kl.pass";
-    "fm.pass";
-    "sa.plateau";
-    "matching.contract";
-    "store.roundtrip";
-  ]
-
 let run ?(runs = 5) ~scratch () =
   let runs = max 1 runs in
   let results =

@@ -52,9 +52,6 @@ type suite_result = {
   peak_rss_bytes : int option;  (** Process peak RSS after the suite. *)
 }
 
-val bench_names : string list
-(** Names of every bench, in run order. *)
-
 val run : ?runs:int -> scratch:string -> unit -> suite_result
 (** Execute the whole suite. [runs] is k for min-of-k (default 5,
     clamped to at least 1). [scratch] is a writable directory for the

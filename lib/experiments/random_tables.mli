@@ -9,12 +9,6 @@
     tables sweep the average degree over {2.5, 3, 3.5, 4} with 7 graphs
     per row, as the paper footnotes. *)
 
-val b_sweep : int list
-(** [{2; 4; 8; 16; 32; 64}]. *)
-
-val degree_sweep : float list
-(** [{2.5; 3.0; 3.5; 4.0}]. *)
-
 val g2set_table : Profile.t -> two_n:int -> avg_degree:float -> string
 (** E-A4..A7 / E-A11..A14: planted model at a fixed average degree,
     sweeping [b]. *)

@@ -6,10 +6,6 @@
     optimal widths (ladder 2, N x N grid N, complete binary tree 1 or
     2) are printed in the expected-width column. *)
 
-val ladder_rows : Profile.t -> Paper_table.row list
-val grid_rows : Profile.t -> Paper_table.row list
-val tree_rows : Profile.t -> Paper_table.row list
-
 val ladder_table : Profile.t -> string
 (** E-A1. *)
 

@@ -9,6 +9,8 @@ type t
 val create : ?expected_edges:int -> int -> t
 (** [create n] starts an empty builder on vertices [0 .. n-1]. *)
 
+(* lint: allow dead-export — accessor pair with n_edges; kept for API
+   symmetry with Csr *)
 val n_vertices : t -> int
 
 val n_edges : t -> int

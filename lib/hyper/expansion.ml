@@ -30,5 +30,3 @@ let star_cells_only h side =
   let n = Hgraph.n_vertices h in
   if Array.length side < n then invalid_arg "Expansion.star_cells_only: side too short";
   Array.sub side 0 n
-
-let graph_cut_of_sides = Hgraph.cut_size

@@ -30,7 +30,3 @@ val star : ?scale:int -> Hgraph.t -> Gb_graph.Csr.t * int
 val star_cells_only : Hgraph.t -> int array -> int array
 (** Restrict a side assignment on the star expansion to the original
     cells. *)
-
-val graph_cut_of_sides : Hgraph.t -> int array -> int
-(** Convenience: the {e true} hypergraph net cut of a cell assignment
-    (alias of {!Hgraph.cut_size}, for symmetric naming in benches). *)

@@ -19,6 +19,8 @@ type config = {
   tolerance : int;  (** Max [|#side0 - #side1|] during a pass, >= 2. *)
 }
 
+(* lint: allow dead-export — the record callers start from when they
+   override one field of the [?config] argument *)
 val default_config : config
 (** [{ max_passes = 50; until_no_improvement = true; tolerance = 2 }]. *)
 

@@ -39,6 +39,9 @@ val iter_vertex_nets : t -> int -> (int -> unit) -> unit
 (** Nets of a vertex, ascending. *)
 
 val net_members : t -> int -> int array
+
+(* lint: allow dead-export — materializing counterpart of
+   iter_vertex_nets, mirrors net_members on the other axis *)
 val vertex_nets : t -> int -> int array
 
 val max_net_size : t -> int

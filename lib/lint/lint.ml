@@ -31,23 +31,68 @@ let expand_paths paths =
   in
   Result.map (List.sort_uniq String.compare) (expand [] paths)
 
+(* check_source sorts within a file; keep files themselves sorted so
+   the report is deterministic whatever order the shell expanded. *)
+let by_file a b =
+  match String.compare a.Rules.file b.Rules.file with
+  | 0 -> (
+      match Int.compare a.Rules.line b.Rules.line with
+      | 0 -> String.compare a.Rules.rule b.Rules.rule
+      | c -> c)
+  | c -> c
+
 let lint_files files =
   let findings =
     List.concat_map (fun f -> Rules.check_source ~file:f (read_file f)) files
   in
-  (* check_source sorts within a file; keep files themselves sorted so
-     the report is deterministic whatever order the shell expanded. *)
-  let by_file a b =
-    match String.compare a.Rules.file b.Rules.file with
-    | 0 -> (
-        match Int.compare a.Rules.line b.Rules.line with
-        | 0 -> String.compare a.Rules.rule b.Rules.rule
-        | c -> c)
-    | c -> c
-  in
   { files; findings = List.sort by_file findings }
 
 let lint_paths paths = Result.map lint_files (expand_paths paths)
+
+(* --- whole-program mode -------------------------------------------- *)
+
+(* The dune file of every scanned module's directory rides along so
+   {!Program} can derive display names (library wrapping). *)
+let dune_files files =
+  List.sort_uniq String.compare
+    (List.filter_map
+       (fun f ->
+         let d = Filename.concat (Filename.dirname f) "dune" in
+         if Sys.file_exists d then Some d else None)
+       files)
+
+let lint_program paths =
+  match expand_paths paths with
+  | Error e -> Error e
+  | Ok files ->
+      let sources = List.map (fun f -> (f, read_file f)) files in
+      let dunes = List.map (fun f -> (f, read_file f)) (dune_files files) in
+      let program = Program.create (sources @ dunes) in
+      let by_target = Hashtbl.create 32 in
+      List.iter
+        (fun (f : Rules.finding) ->
+          let key = Rules.normalize_path f.Rules.file in
+          let prev =
+            Option.value (Hashtbl.find_opt by_target key) ~default:[]
+          in
+          Hashtbl.replace by_target key (f :: prev))
+        (Graph_rules.check program);
+      (* one pragma accounting per file: the interprocedural findings
+         join the file-local ones before suppression and staleness *)
+      let findings =
+        List.concat_map
+          (fun (f, src) ->
+            let extra =
+              List.rev
+                (Option.value
+                   (Hashtbl.find_opt by_target (Rules.normalize_path f))
+                   ~default:[])
+            in
+            Rules.apply_pragmas ~program:true (Rules.scan_source ~file:f src)
+              ~extra)
+          sources
+      in
+      Ok ({ files; findings = List.sort by_file findings }, program)
 
 let render_human r =
   let buf = Buffer.create 256 in
@@ -60,24 +105,63 @@ let render_human r =
     r.findings;
   Buffer.contents buf
 
+let schema_version = 1
+
+let finding_to_json (f : Rules.finding) =
+  Json.Obj
+    [
+      ("file", Json.String f.Rules.file);
+      ("line", Json.Int f.Rules.line);
+      ("rule", Json.String f.Rules.rule);
+      ("severity", Json.String (Rules.severity_name f.Rules.severity));
+      ("message", Json.String f.Rules.message);
+      ("why", Json.List (List.map (fun s -> Json.String s) f.Rules.why));
+    ]
+
+let finding_of_json json =
+  let str key =
+    match Json.member key json with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "finding: missing string %S" key)
+  in
+  let ( let* ) = Result.bind in
+  let* file = str "file" in
+  let* rule = str "rule" in
+  let* message = str "message" in
+  let* line =
+    match Json.member "line" json with
+    | Some (Json.Int n) -> Ok n
+    | _ -> Error "finding: missing int \"line\""
+  in
+  let* severity =
+    match Json.member "severity" json with
+    | Some (Json.String "error") -> Ok Rules.Error
+    | Some (Json.String "warning") -> Ok Rules.Warning
+    | _ -> Error "finding: bad \"severity\""
+  in
+  let* why =
+    match Json.member "why" json with
+    | Some (Json.List l) ->
+        List.fold_left
+          (fun acc j ->
+            match (acc, j) with
+            | Ok acc, Json.String s -> Ok (s :: acc)
+            | Ok _, _ -> Error "finding: non-string in \"why\""
+            | e, _ -> e)
+          (Ok []) l
+        |> Result.map List.rev
+    | None -> Ok []
+    | Some _ -> Error "finding: bad \"why\""
+  in
+  Ok { Rules.file; line; rule; severity; message; why }
+
 let render_json r =
   Json.to_string
     (Json.Obj
        [
+         ("schema_version", Json.Int schema_version);
          ("files_scanned", Json.Int (List.length r.files));
-         ( "findings",
-           Json.List
-             (List.map
-                (fun f ->
-                  Json.Obj
-                    [
-                      ("file", Json.String f.Rules.file);
-                      ("line", Json.Int f.Rules.line);
-                      ("rule", Json.String f.Rules.rule);
-                      ("severity", Json.String (Rules.severity_name f.Rules.severity));
-                      ("message", Json.String f.Rules.message);
-                    ])
-                r.findings) );
+         ("findings", Json.List (List.map finding_to_json r.findings));
        ])
 
 let summary r =
@@ -101,6 +185,14 @@ let rules_doc () =
     Rules.all;
   Buffer.add_string buf
     "  pragma                   -       meta: malformed or unused suppression pragmas\n";
+  Buffer.add_string buf "\nwhole-program rules (gbisect lint --program):\n";
+  List.iter
+    (fun (r : Rules.program_rule) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-24s %-7s %s\n" r.Rules.p_name
+           (Rules.severity_name r.Rules.p_severity)
+           r.Rules.p_summary))
+    Rules.program_rules;
   Buffer.add_string buf "\nallowlist (module that owns the effect is exempt):\n";
   List.iter
     (fun (fragment, rules) ->

@@ -22,6 +22,23 @@ val lint_files : string list -> report
 val lint_paths : string list -> (report, string) result
 (** {!expand_paths} composed with {!lint_files}. *)
 
+val lint_program : string list -> (report * Program.t, string) result
+(** Whole-program mode: expand paths, build the {!Program} call graph
+    (the [dune] file of each scanned directory rides along for display
+    names), run the file-local {i and} the {!Graph_rules}
+    interprocedural rules under one per-file pragma accounting, and
+    return the graph alongside the report for [--graph]/[--why]. *)
+
+val schema_version : int
+(** Version of the [--json] report shape — bumped on any change to the
+    object layout, like the bench artifacts. *)
+
+val finding_to_json : Rules.finding -> Gb_obs.Json.t
+
+val finding_of_json : Gb_obs.Json.t -> (Rules.finding, string) result
+(** Inverse of {!finding_to_json}; the lint-json codec oracle in
+    [lib/check] round-trips through this pair. *)
+
 val render_human : report -> string
 (** One [file:line: severity [rule] message] line per finding; empty
     string when clean. *)

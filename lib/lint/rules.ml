@@ -8,6 +8,9 @@ type finding = {
   rule : string;
   severity : severity;
   message : string;
+  why : string list;
+      (* call chain that makes an interprocedural finding reachable;
+         [] for file-local rules *)
 }
 
 type rule = {
@@ -67,7 +70,7 @@ let mk ~name ~severity ~summary ~applies ~message check =
     check =
       (fun ~file r ->
         List.map
-          (fun line -> { file; line; rule = name; severity; message })
+          (fun line -> { file; line; rule = name; severity; message; why = [] })
           (check r));
   }
 
@@ -344,7 +347,50 @@ let all =
     no_naked_mutable_global;
   ]
 
-let known_rule name = List.exists (fun r -> String.equal r.name name) all
+(* ------------------------------------------------------------------ *)
+(* Whole-program (interprocedural) rules. The checks live in
+   [Graph_rules] over the [Program] call graph; the catalogue lives
+   here so [known_rule], pragmas and [lint --rules] cover one rule
+   namespace. *)
+
+type program_rule = { p_name : string; p_severity : severity; p_summary : string }
+
+let program_rules =
+  [
+    {
+      p_name = "par-unsafe-state";
+      p_severity = Error;
+      p_summary =
+        "non-atomic mutable global reached (transitively) from a parallel region";
+    };
+    {
+      p_name = "par-ambient-rng";
+      p_severity = Error;
+      p_summary = "ambient Random reachable from a parallel worker";
+    };
+    {
+      p_name = "par-wall-clock";
+      p_severity = Error;
+      p_summary = "direct wall-clock read reachable from a parallel worker";
+    };
+    {
+      p_name = "rng-stream-discipline";
+      p_severity = Error;
+      p_summary =
+        "function taking an Rng.t also creates a second ambient stream";
+    };
+    {
+      p_name = "dead-export";
+      p_severity = Warning;
+      p_summary = "mli-exported value with no reference outside its module";
+    };
+  ]
+
+let program_rule_name name =
+  List.exists (fun r -> String.equal r.p_name name) program_rules
+
+let known_rule name =
+  List.exists (fun r -> String.equal r.name name) all || program_rule_name name
 
 (* ------------------------------------------------------------------ *)
 (* Config allowlist: the module that owns an effect may use it.        *)
@@ -353,12 +399,19 @@ let allowlist =
   [
     (* The PRNG core is the one sanctioned randomness provider (it
        wraps its own lagged-Fibonacci generator, but may legitimately
-       reference stdlib Random, e.g. for seeding comparisons). *)
-    ("lib/prng/", [ "no-ambient-random" ]);
+       reference stdlib Random, e.g. for seeding comparisons), and the
+       one module allowed to mint derived streams from raw seeds. *)
+    ("lib/prng/", [ "no-ambient-random"; "par-ambient-rng"; "rng-stream-discipline" ]);
     (* The pluggable clock's default source is CPU time. *)
-    ("lib/obs/clock.ml", [ "no-wall-clock" ]);
+    ("lib/obs/clock.ml", [ "no-wall-clock"; "par-wall-clock" ]);
     (* Owns shortest-round-trip float rendering. *)
     ("lib/obs/json.ml", [ "no-float-format" ]);
+    (* Examples are interactive demos outside the determinism
+       contract: they print to a human, commit no artifacts, and
+       time themselves however is clearest on the page. They are
+       scanned by lint --program (as users of the public API) but
+       keep their casual clocks. *)
+    ("examples/", [ "no-wall-clock"; "par-wall-clock" ]);
   ]
 
 let allowlisted path rule_name =
@@ -393,7 +446,7 @@ let words s =
 let is_reason_separator w = w = "\xe2\x80\x94" (* em dash *) || w = "-" || w = "--"
 
 let meta ~file ~line message =
-  { file; line; rule = "pragma"; severity = Error; message }
+  { file; line; rule = "pragma"; severity = Error; message; why = [] }
 
 (* Parse one comment; [None] if it is not a lint pragma at all. *)
 let parse_pragma ~file (c : Tokenizer.comment) : (pragma option * finding list) option =
@@ -462,7 +515,37 @@ let compare_findings a b =
   | 0 -> String.compare a.rule b.rule
   | c -> c
 
-let check_source ~file source =
+(* The name of the nearest enclosing top-level binding ([let]/[val]/
+   [external] at column 0) on or above [line] — so a staleness warning
+   can say where to look without the reader opening the file. *)
+let enclosing_binding (lexed : Tokenizer.t) line =
+  let t = lexed.Tokenizer.tokens in
+  let best = ref None in
+  Array.iteri
+    (fun i p ->
+      match p.Tokenizer.tok with
+      | Tokenizer.Ident (("let" | "val" | "external") as kw)
+        when p.Tokenizer.col = 0 && p.Tokenizer.line <= line ->
+          let j =
+            if tk lexed (i + 1) = Some (Tokenizer.Ident "rec") then i + 2 else i + 1
+          in
+          (match tk lexed j with
+          | Some (Tokenizer.Ident name) when name <> "open" ->
+              best := Some (kw, name)
+          | _ -> ())
+      | _ -> ())
+    t;
+  !best
+
+type scanned = {
+  s_file : string;
+  s_lexed : Tokenizer.t;
+  s_raw : finding list;  (** file-local rule findings, allowlist applied *)
+  s_pragmas : pragma list;
+  s_pragma_problems : finding list;
+}
+
+let scan_source ~file source =
   let path = normalize_path file in
   let lexed = Tokenizer.tokenize source in
   let raw =
@@ -480,37 +563,69 @@ let check_source ~file source =
           (match p with Some p -> pragmas := p :: !pragmas | None -> ());
           pragma_findings := !pragma_findings @ probs)
     lexed.Tokenizer.comments;
-  let pragmas = List.rev !pragmas in
+  {
+    s_file = file;
+    s_lexed = lexed;
+    s_raw = raw;
+    s_pragmas = List.rev !pragmas;
+    s_pragma_problems = !pragma_findings;
+  }
+
+(* Does [p] allow [rule] at [line]? Covers the pragma's own lines and
+   the line after it, like inline suppression always has. *)
+let pragma_covers p ~rule ~line =
+  List.mem rule p.p_rules && line >= p.p_start && line <= p.p_end + 1
+
+let pragma_mark_used p = p.p_used <- true
+let pragma_line p = p.p_start
+let pragma_rules p = p.p_rules
+
+(* Merge [extra] (interprocedural findings attributed to this file)
+   with the file-local scan, apply inline pragmas, and account for
+   stale pragmas. In file-local mode ([program = false]) a pragma that
+   names only whole-program rules is not reported unused: those rules
+   can only fire under [lint --program], which owns the accounting. *)
+let apply_pragmas ?(program = false) scanned ~extra =
+  let path = normalize_path scanned.s_file in
+  let extra = List.filter (fun f -> not (allowlisted path f.rule)) extra in
   let suppressed f =
     List.exists
       (fun p ->
-        if
-          List.mem f.rule p.p_rules
-          && f.line >= p.p_start
-          && f.line <= p.p_end + 1
-        then begin
+        if pragma_covers p ~rule:f.rule ~line:f.line then begin
           p.p_used <- true;
           true
         end
         else false)
-      pragmas
+      scanned.s_pragmas
   in
-  let kept = List.filter (fun f -> not (suppressed f)) raw in
+  let kept = List.filter (fun f -> not (suppressed f)) (scanned.s_raw @ extra) in
   let unused =
     List.filter_map
       (fun p ->
-        if p.p_used then None
+        let program_only = List.for_all program_rule_name p.p_rules in
+        if p.p_used || ((not program) && program_only) then None
         else
+          let where =
+            match enclosing_binding scanned.s_lexed p.p_start with
+            | Some (kw, name) -> Printf.sprintf " near `%s %s`" kw name
+            | None -> ""
+          in
           Some
             {
-              file;
+              file = scanned.s_file;
               line = p.p_start;
               rule = "pragma";
               severity = Warning;
               message =
-                Printf.sprintf "unused lint pragma (allows %s but nothing fires here)"
+                Printf.sprintf
+                  "unused lint pragma%s (allows %s but nothing it names fires here)"
+                  where
                   (String.concat ", " p.p_rules);
+              why = [];
             })
-      pragmas
+      scanned.s_pragmas
   in
-  List.sort compare_findings (kept @ !pragma_findings @ unused)
+  List.sort compare_findings (kept @ scanned.s_pragma_problems @ unused)
+
+let check_source ~file source =
+  apply_pragmas (scan_source ~file source) ~extra:[]

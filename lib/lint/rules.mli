@@ -28,6 +28,10 @@ type finding = {
   rule : string;
   severity : severity;
   message : string;
+  why : string list;
+      (** for interprocedural findings, the call chain (entry point
+          first) that makes the finding reachable; [] for file-local
+          rules *)
 }
 
 type rule = {
@@ -39,6 +43,16 @@ type rule = {
 }
 
 val all : rule list
+
+type program_rule = { p_name : string; p_severity : severity; p_summary : string }
+
+val program_rules : program_rule list
+(** The whole-program rules checked by [lint --program] over the
+    {!Program} call graph (the checks themselves live in
+    {!Graph_rules}); declared here so pragmas, [--rules] and
+    {!known_rule} share one namespace with the file-local rules. *)
+
+val program_rule_name : string -> bool
 val known_rule : string -> bool
 
 val allowlist : (string * string list) list
@@ -54,3 +68,43 @@ val check_source : file:string -> string -> finding list
     apply the allowlist and inline pragmas. Pragma hygiene problems
     are appended as ["pragma"] findings. Result is sorted by line,
     then rule name. *)
+
+(** {1 Scan/apply split for whole-program analysis}
+
+    [lint --program] must run the file-local rules {i and} the
+    interprocedural rules under a single pragma accounting (a pragma
+    naming [par-unsafe-state] would otherwise read as unused to the
+    file-local pass). {!scan_source} does the per-file work once;
+    {!apply_pragmas} merges extra findings in before suppression and
+    staleness are decided. {!check_source} is the composition with no
+    extras and [program = false]. *)
+
+type pragma
+(** One parsed [(* lint: allow ... *)] suppression, with use tracking. *)
+
+type scanned = {
+  s_file : string;
+  s_lexed : Tokenizer.t;
+  s_raw : finding list;  (** file-local rule findings, allowlist applied *)
+  s_pragmas : pragma list;
+  s_pragma_problems : finding list;
+}
+
+val scan_source : file:string -> string -> scanned
+
+val apply_pragmas : ?program:bool -> scanned -> extra:finding list -> finding list
+(** Allowlist-filter [extra], merge with the file-local findings,
+    drop everything a pragma covers, then report stale pragmas (with
+    the nearest enclosing top-level binding named in the message).
+    With [program = false] (the default), pragmas naming only
+    whole-program rules are exempt from staleness — those rules only
+    fire under [lint --program]. *)
+
+val pragma_covers : pragma -> rule:string -> line:int -> bool
+val pragma_mark_used : pragma -> unit
+val pragma_line : pragma -> int
+val pragma_rules : pragma -> string list
+
+val enclosing_binding : Tokenizer.t -> int -> (string * string) option
+(** [(keyword, name)] of the nearest top-level [let]/[val]/[external]
+    at column 0 on or above the given line. *)

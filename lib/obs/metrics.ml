@@ -41,9 +41,9 @@ let max_float a v = update_float a (fun x -> if v > x then v else x)
    hot path — bumping an interned instrument is lock-free. *)
 let registry_mutex = Mutex.create ()
 
-(* lint: allow no-naked-mutable-global — every access interns through registry_mutex *)
+(* lint: allow no-naked-mutable-global, par-unsafe-state — every access interns through registry_mutex *)
 let counter_registry : (string, counter) Hashtbl.t = Hashtbl.create 32
-(* lint: allow no-naked-mutable-global — every access interns through registry_mutex *)
+(* lint: allow no-naked-mutable-global, par-unsafe-state — every access interns through registry_mutex *)
 let histogram_registry : (string, histogram) Hashtbl.t = Hashtbl.create 32
 
 let intern registry name make =

@@ -43,7 +43,7 @@ let enabled () = Atomic.get switch
    never touch it. *)
 let registry_mutex = Mutex.create ()
 
-(* lint: allow no-naked-mutable-global — every access goes through registry_mutex *)
+(* lint: allow no-naked-mutable-global, par-unsafe-state — every access goes through registry_mutex *)
 let registry : (string, stats) Hashtbl.t = Hashtbl.create 32
 
 let accumulate name d =
@@ -233,20 +233,3 @@ let render_openmetrics () =
   Buffer.add_string buf "# EOF\n";
   Buffer.contents buf
 
-let render () =
-  let buf = Buffer.create 512 in
-  Buffer.add_string buf "profiling spans:\n";
-  List.iter
-    (fun (name, s) ->
-      let words = allocated_words s.total in
-      let rate = if s.total.seconds > 0. then words /. s.total.seconds else 0. in
-      Buffer.add_string buf
-        (Printf.sprintf
-           "  %-28s n %-6d alloc %s w (%s w/s)  minor gc %d  major gc %d\n" name
-           s.count (number words) (number (Float.round rate))
-           s.total.minor_collections s.total.major_collections))
-    (snapshot ());
-  (match peak_rss_bytes () with
-  | Some b -> Buffer.add_string buf (Printf.sprintf "peak rss: %d bytes\n" b)
-  | None -> ());
-  Buffer.contents buf

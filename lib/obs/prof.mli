@@ -78,6 +78,8 @@ val delta_args : delta -> (string * Json.t) list
 
 (** {1 Process RSS} *)
 
+(* lint: allow dead-export — sampling counterpart of peak_rss_bytes for
+   long-running serve processes; kept as deliberate observability API *)
 val rss_bytes : unit -> int option
 (** Current resident set size ([VmRSS] of [/proc/self/status]);
     [None] where procfs is unavailable. *)
@@ -105,9 +107,6 @@ val render_openmetrics : unit -> string
 (** OpenMetrics-style text exposition ([gbisect_prof_*] families, one
     [# TYPE] header per family, [# EOF] terminator), for scraping or
     committing alongside bench artifacts. Sorted by span name. *)
-
-val render : unit -> string
-(** Human-readable multi-line listing (the CLI's [--prof] output). *)
 
 val reset : unit -> unit
 (** Drop every aggregate (keeps the switch as is). *)

@@ -23,6 +23,8 @@ type params = {
                                 connection is declared dead. *)
 }
 
+(* lint: allow dead-export — the record callers start from when they
+   override one field of [params] *)
 val default_params : params
 (** 200 requests, 8 connections, repeat ratio 0.3, 1 start, seed 1,
     10 s timeout. *)

@@ -2,58 +2,129 @@
    Gb_lint determinism & domain-safety rules.
 
    Usage:
-     dune exec lint/main.exe -- [--json] [--rules] [paths...]
+     dune exec lint/main.exe -- [--json] [--rules] [--program] [paths...]
      dune build @lint                      # lib bin bench test, fails on findings
 
-   Paths default to lib bin bench test. Directories are walked for
-   .ml/.mli files; explicit file arguments are linted whatever their
-   suffix. Exit codes follow the repo contract: 0 clean, 1 findings,
-   2 usage. *)
+   Paths default to lib bin bench test (plus examples and lint in
+   --program mode). Directories are walked for .ml/.mli files; explicit
+   file arguments are linted whatever their suffix. Exit codes follow
+   the repo contract: 0 clean, 1 findings, 2 usage. *)
 
 module Lint = Gb_lint.Lint
+module Program = Gb_lint.Program
 
 let default_paths = [ "lib"; "bin"; "bench"; "test" ]
+let program_paths = [ "lib"; "bin"; "bench"; "test"; "examples"; "lint" ]
 
 let usage () =
   print_endline
-    "usage: main.exe [--json] [--rules] [paths...]\n\n\
+    "usage: main.exe [--json] [--rules] [--program] [--graph FILE] [--why SYM] \
+     [paths...]\n\n\
      Runs the gbisect determinism & domain-safety lint over OCaml sources\n\
      (directories are searched for .ml/.mli; defaults: lib bin bench test).\n\n\
-     --json   machine-readable one-line JSON report on stdout\n\
-     --rules  print the rule catalogue and exit\n\n\
+     --json        machine-readable one-line JSON report on stdout\n\
+     --rules       print the rule catalogue and exit\n\
+     --program     whole-program analysis (cross-module call graph rules)\n\
+     --graph FILE  write the call graph as Graphviz DOT (implies --program)\n\
+     --why SYM     print the parallel-region chain for a symbol (implies --program)\n\n\
      exit codes: 0 clean, 1 findings, 2 usage"
 
 let () =
-  let json = ref false and rules = ref false and paths = ref [] and bad = ref None in
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--json" -> json := true
-        | "--rules" -> rules := true
-        | "--help" | "-h" ->
-            usage ();
-            exit 0
-        | _ when String.length arg > 0 && arg.[0] = '-' -> bad := Some arg
-        | _ -> paths := arg :: !paths)
-    Sys.argv;
-  (match !bad with
-  | Some flag ->
-      Printf.eprintf "gbisect-lint: unknown flag %s\n" flag;
-      usage ();
-      exit 2
-  | None -> ());
+  let json = ref false
+  and rules = ref false
+  and program = ref false
+  and graph_out = ref None
+  and why = ref None
+  and paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: tl ->
+        json := true;
+        parse tl
+    | "--rules" :: tl ->
+        rules := true;
+        parse tl
+    | "--program" :: tl ->
+        program := true;
+        parse tl
+    | "--graph" :: file :: tl ->
+        graph_out := Some file;
+        parse tl
+    | "--why" :: sym :: tl ->
+        why := Some sym;
+        parse tl
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
+        Printf.eprintf "gbisect-lint: unknown or incomplete flag %s\n" flag;
+        usage ();
+        exit 2
+    | p :: tl ->
+        paths := p :: !paths;
+        parse tl
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   if !rules then begin
     print_string (Lint.rules_doc ());
     exit 0
   end;
-  let paths = match List.rev !paths with [] -> default_paths | ps -> ps in
-  match Lint.lint_paths paths with
-  | Error msg ->
-      Printf.eprintf "gbisect-lint: %s\n" msg;
-      exit 2
-  | Ok report ->
-      if !json then print_endline (Lint.render_json report)
-      else print_string (Lint.render_human report);
-      Printf.eprintf "gbisect-lint: %s\n" (Lint.summary report);
-      exit (Lint.exit_code report)
+  let program = !program || !graph_out <> None || !why <> None in
+  let paths =
+    match List.rev !paths with
+    | [] ->
+        List.filter Sys.file_exists
+          (if program then program_paths else default_paths)
+    | ps -> ps
+  in
+  if not program then begin
+    match Lint.lint_paths paths with
+    | Error msg ->
+        Printf.eprintf "gbisect-lint: %s\n" msg;
+        exit 2
+    | Ok report ->
+        if !json then print_endline (Lint.render_json report)
+        else print_string (Lint.render_human report);
+        Printf.eprintf "gbisect-lint: %s\n" (Lint.summary report);
+        exit (Lint.exit_code report)
+  end
+  else begin
+    match Lint.lint_program paths with
+    | Error msg ->
+        Printf.eprintf "gbisect-lint: %s\n" msg;
+        exit 2
+    | Ok (report, prog) -> (
+        Option.iter
+          (fun file ->
+            Out_channel.with_open_bin file (fun oc ->
+                Out_channel.output_string oc (Program.to_dot prog)))
+          !graph_out;
+        match !why with
+        | Some symbol -> (
+            match Program.find_symbol prog symbol with
+            | None ->
+                Printf.eprintf "gbisect-lint: --why: no definition named %s\n"
+                  symbol;
+                exit 2
+            | Some node -> (
+                match Program.chain prog node.Program.n_id with
+                | [] ->
+                    Printf.printf
+                      "%s is not reachable from any parallel region\n"
+                      node.Program.n_display;
+                    exit 0
+                | chain ->
+                    Printf.printf "%s is inside a parallel region via:\n  %s\n"
+                      node.Program.n_display
+                      (String.concat "\n  -> " chain);
+                    exit 0))
+        | None ->
+            if !json then print_endline (Lint.render_json report)
+            else print_string (Lint.render_human report);
+            let modules, defs, edges, par = Program.stats prog in
+            Printf.eprintf
+              "gbisect-lint: %s (graph: %d modules, %d defs, %d edges, %d \
+               parallel-reachable)\n"
+              (Lint.summary report) modules defs edges par;
+            exit (Lint.exit_code report))
+  end

@@ -218,6 +218,85 @@ let lint_tests =
     case "missing path is a usage error (exit 2)" (fun () ->
         let code, _, _ = run_cli [ "lint"; "/nonexistent/dir" ] in
         check_int "exit" 2 code);
+    case "--json is the golden schema_version=1 shape, byte for byte" (fun () ->
+        let dir = Filename.temp_file "gbisect_golden" "" in
+        Sys.remove dir;
+        Sys.mkdir dir 0o755;
+        let path = Filename.concat dir "lib_violation.ml" in
+        Fun.protect
+          ~finally:(fun () ->
+            Sys.remove path;
+            Sys.rmdir dir)
+          (fun () ->
+            write_file path "let roll () = Random.int 6\n";
+            let code, out, _ = run_cli [ "lint"; "--json"; path ] in
+            check_int "exit" 1 code;
+            let expected =
+              Printf.sprintf
+                "{\"schema_version\":1,\"files_scanned\":1,\"findings\":[{\"file\":%S,\"line\":1,\"rule\":\"no-ambient-random\",\"severity\":\"error\",\"message\":\"ambient Random.* bypasses the seeded Gb_prng.Rng streams, so results stop being reproducible from the run's seed; draw from an Rng.t handed down the call chain\",\"why\":[]}]}\n"
+                path
+            in
+            Alcotest.(check string) "golden report" expected out));
+  ]
+
+(* The fault-injection shape: mutable module state reached from a
+   Pool.map thunk through an intermediate module — [lint --program]
+   must follow the chain across all three files. *)
+let with_program_fixture f =
+  let dir = Filename.temp_file "gbisect_prog" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let files =
+    [
+      ("dune", "(library\n (name fix))\n");
+      ("fix_state.ml", "let cell = ref 0\nlet touch () = incr cell\n");
+      ("fix_mid.ml", "let note () = Fix_state.touch ()\n");
+      ("fix_par.ml", "let run xs = Gb_par.Pool.map (fun _ -> Fix_mid.note ()) xs\n");
+    ]
+  in
+  List.iter (fun (n, c) -> write_file (Filename.concat dir n) c) files;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (n, _) -> Sys.remove (Filename.concat dir n)) files;
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let lint_program_tests =
+  [
+    case "--program follows a race chain across modules (exit 1)" (fun () ->
+        with_program_fixture (fun dir ->
+            let code, out, err = run_cli [ "lint"; "--program"; dir ] in
+            check_int "exit" 1 code;
+            check_bool "rule named" true (contains out "par-unsafe-state");
+            check_bool "witness chain rendered" true (contains out " -> ");
+            check_bool "graph summary on stderr" true (contains err "parallel-reachable")));
+    case "--why prints the witness chain for a symbol" (fun () ->
+        with_program_fixture (fun dir ->
+            let code, out, _ =
+              run_cli [ "lint"; "--program"; "--why"; "Fix_state.touch"; dir ]
+            in
+            check_int "exit (chain printed, no report)" 0 code;
+            check_bool "explains reachability" true
+              (contains out "inside a parallel region");
+            check_bool "chain arrow" true (contains out "->"));
+    );
+    case "--why on an unknown symbol is a usage error" (fun () ->
+        with_program_fixture (fun dir ->
+            let code, _, _ =
+              run_cli [ "lint"; "--program"; "--why"; "No_such.symbol"; dir ]
+            in
+            check_int "exit" 2 code));
+    case "--graph writes a DOT file" (fun () ->
+        with_program_fixture (fun dir ->
+            let dot = Filename.temp_file "gbisect_graph" ".dot" in
+            Fun.protect
+              ~finally:(fun () -> Sys.remove dot)
+              (fun () ->
+                let _, _, _ = run_cli [ "lint"; "--graph"; dot; dir ] in
+                let s = read_file dot in
+                check_bool "digraph" true (contains s "digraph");
+                check_bool "edges" true (contains s " -> ");
+                check_bool "fan-out colored" true (contains s "orange"))));
   ]
 
 let serve_tests =
@@ -303,6 +382,7 @@ let () =
       ("solve", solve_tests);
       ("perf", perf_tests);
       ("lint", lint_tests);
+      ("lint --program", lint_program_tests);
       ("serve", serve_tests);
       ("scale", scale_tests);
     ]

@@ -202,6 +202,42 @@ let protocol_tests =
             Alcotest.(check string) "same cuts" (strip_times a) (strip_times b));
   ]
 
+(* --- Sign test ---------------------------------------------------------------- *)
+
+module Sign_test = Gb_experiments.Sign_test
+
+let sign_test_tests =
+  [
+    case "of_pairs counts wins, ties dropped, smaller is better" (fun () ->
+        let t = Sign_test.of_pairs [ (1, 2); (3, 3); (5, 4); (2, 9); (7, 7) ] in
+        check_int "wins_a" 2 t.Sign_test.wins_a;
+        check_int "wins_b" 1 t.Sign_test.wins_b;
+        check_int "ties" 2 t.Sign_test.ties;
+        check_bool "win rate" true
+          (Float.abs (t.Sign_test.win_rate_a -. (2. /. 3.)) < 1e-9));
+    case "binomial_two_sided is symmetric and exact at the corners" (fun () ->
+        let p = Sign_test.binomial_two_sided in
+        check_bool "k and n-k agree" true
+          (Float.abs (p ~n:10 ~k:2 -. p ~n:10 ~k:8) < 1e-12);
+        check_bool "an even split is certain" true
+          (Float.abs (p ~n:10 ~k:5 -. 1.0) < 1e-9);
+        (* P(all 8 one way, doubled): 2 * 2^-8 *)
+        check_bool "extreme tail" true
+          (Float.abs (p ~n:8 ~k:8 -. (2. /. 256.)) < 1e-12);
+        check_bool "never exceeds 1" true (p ~n:4 ~k:2 <= 1.0));
+    case "pp renders the counts and the p-value" (fun () ->
+        let t = Sign_test.of_pairs [ (1, 2); (5, 4); (2, 9) ] in
+        let s = Format.asprintf "%a" Sign_test.pp t in
+        check_bool "mentions wins" true (Helpers.contains s "2");
+        check_bool "non-empty" true (String.length s > 10));
+    case "paper_table header matches the quad column layout" (fun () ->
+        let h = Gb_experiments.Paper_table.header in
+        check_bool "has an instance column" true (List.mem "instance" h);
+        List.iter
+          (fun col -> check_bool col true (List.mem col h))
+          [ "bsa"; "bcsa"; "bkl"; "bckl" ]);
+  ]
+
 (* --- ASCII charts ------------------------------------------------------------ *)
 
 module Chart = Gb_experiments.Ascii_chart
@@ -328,6 +364,7 @@ let () =
       ("runner", runner_tests);
       ("registry", registry_tests);
       ("protocol", protocol_tests);
+      ("sign test", sign_test_tests);
       ("charts", chart_tests);
       ("extension experiments", extension_experiment_tests);
       ("scale suite", scale_suite_tests);

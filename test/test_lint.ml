@@ -6,6 +6,9 @@
 module Tokenizer = Gb_lint.Tokenizer
 module Rules = Gbisect.Lint_rules
 module Lint = Gbisect.Lint
+module Resolve = Gb_lint.Resolve
+module Program = Gbisect.Lint_program
+module Graph_rules = Gb_lint.Graph_rules
 
 let case = Helpers.case
 let check_int = Helpers.check_int
@@ -222,6 +225,247 @@ let pragma_tests =
           Rules.allowlist);
   ]
 
+(* --- Extractor: adversarial shapes ------------------------------------------ *)
+
+let extract src = Resolve.extract (Tokenizer.tokenize src)
+let def_names x = List.map (fun d -> d.Resolve.d_name) x.Resolve.x_defs
+
+let extractor_tests =
+  [
+    case "functor bodies contribute qualified defs" (fun () ->
+        let x =
+          extract
+            "module Make (X : S) = struct\n\
+            \  let run g = X.go g\n\
+             end\n"
+        in
+        check_bool "Make.run extracted" true (List.mem "Make.run" (def_names x)));
+    case "first-class module arguments do not derail the head" (fun () ->
+        let x = extract "let solve (module M : Solver) g = M.run g\n" in
+        check_bool "solve extracted" true (List.mem "solve" (def_names x)));
+    case "let-open and local-open targets are collected file-wide" (fun () ->
+        let x =
+          extract
+            "let a g = let open Gb_kl.Kl in one_pass g\n\
+             let b g = Gb_anneal.Sa.(plateau g)\n"
+        in
+        check_bool "let open" true
+          (List.mem [ "Gb_kl"; "Kl" ] x.Resolve.x_opens);
+        check_bool "local open" true
+          (List.mem [ "Gb_anneal"; "Sa" ] x.Resolve.x_opens));
+    case "shadowed module aliases keep the earlier binding first" (fun () ->
+        let x = extract "module K = Gb_kl.Kl\nmodule K = Gb_anneal.Sa\nlet f g = K.go g\n" in
+        (match List.assoc_opt "K" x.Resolve.x_aliases with
+        | Some [ "Gb_kl"; "Kl" ] -> ()
+        | Some other ->
+            Alcotest.failf "first binding should win, got %s"
+              (String.concat "." other)
+        | None -> Alcotest.fail "alias K not extracted");
+        check_int "both recorded" 2
+          (List.length
+             (List.filter (fun (n, _) -> n = "K") x.Resolve.x_aliases)));
+    case "operator definitions are named and recognized" (fun () ->
+        let x = extract "let ( <+> ) a b = a + b\n" in
+        (match def_names x with
+        | [ name ] ->
+            check_bool "operator name" true (Resolve.is_operator_name name)
+        | ds -> Alcotest.failf "expected 1 def, got %d" (List.length ds));
+        check_bool "plain name is not an operator" true
+          (not (Resolve.is_operator_name "run")));
+    case "rng parameters and mutable module state are marked" (fun () ->
+        let x =
+          extract
+            "let cell = ref 0\n\
+             let kernel rng g = step rng g\n\
+             let local () = let c = ref 0 in !c\n"
+        in
+        let find n = List.find (fun d -> d.Resolve.d_name = n) x.Resolve.x_defs in
+        check_bool "cell is mutable state" true (find "cell").Resolve.d_mutable_state;
+        check_bool "kernel takes a stream" true (find "kernel").Resolve.d_rng_param;
+        check_bool "a local ref is not module state" true
+          (not (find "local").Resolve.d_mutable_state));
+    case "is_pool_path recognizes fan-out entry points" (fun () ->
+        check_bool "qualified" true
+          (Program.is_pool_path [ "Gb_par"; "Pool"; "map" ]);
+        check_bool "short" true (Program.is_pool_path [ "Pool"; "map_list" ]);
+        check_bool "not an entry" true
+          (not (Program.is_pool_path [ "Pool"; "no_such" ]));
+        check_bool "not the pool" true
+          (not (Program.is_pool_path [ "Stack"; "map" ])));
+  ]
+
+(* --- Interprocedural rules on constructed programs -------------------------- *)
+
+(* A three-module library where a Pool.map thunk reaches mutable module
+   state two calls away — the same shape CI's fault-injection fixture
+   uses. [variant] swaps the fan-out line. *)
+let fixture ~par =
+  let run_body =
+    if par then "let run xs = Gb_par.Pool.map (fun _ -> Fix_mid.note ()) xs\n"
+    else "let run xs = List.map (fun _ -> Fix_mid.note ()) xs\n"
+  in
+  [
+    ("fix/dune", "(library\n (name fix))\n");
+    ("fix/fix_state.ml", "let cell = ref 0\nlet touch () = incr cell\n");
+    ("fix/fix_mid.ml", "let note () = Fix_state.touch ()\n");
+    ("fix/fix_par.ml", run_body);
+  ]
+
+let graph_findings sources = Graph_rules.check (Program.create sources)
+
+let program_rule_tests =
+  [
+    case "par-unsafe-state: mutable state reached through two modules" (fun () ->
+        match
+          List.filter
+            (fun f -> f.Rules.rule = "par-unsafe-state")
+            (graph_findings (fixture ~par:true))
+        with
+        | [ f ] ->
+            check_bool "at the defining file" true
+              (Helpers.contains f.Rules.file "fix_state.ml");
+            check_bool "chain has >= 2 hops" true (List.length f.Rules.why >= 2);
+            check_bool "chain starts at the fan-out" true
+              (match f.Rules.why with
+              | root :: _ -> Helpers.contains root "Fix_par"
+              | [] -> false)
+        | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs));
+    case "par-unsafe-state: silent without a parallel region" (fun () ->
+        check_bool "no finding" true
+          (List.for_all
+             (fun f -> f.Rules.rule <> "par-unsafe-state")
+             (graph_findings (fixture ~par:false))));
+    case "par-ambient-rng: Random inside a worker, at the draw line" (fun () ->
+        let sources =
+          [
+            ("fix/dune", "(library\n (name fix))\n");
+            ( "fix/fix_par.ml",
+              "let helper x =\n\
+              \  Random.int x\n\
+               let run xs = Gb_par.Pool.map helper xs\n" );
+          ]
+        in
+        match
+          List.filter
+            (fun f -> f.Rules.rule = "par-ambient-rng")
+            (graph_findings sources)
+        with
+        | [ f ] -> check_int "line of the draw" 2 f.Rules.line
+        | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs));
+    case "par-wall-clock: Sys.time inside a worker; explicit streams fine"
+      (fun () ->
+        let sources clock =
+          [
+            ("fix/dune", "(library\n (name fix))\n");
+            ( "fix/fix_par.ml",
+              Printf.sprintf "let work _ = %s\nlet run xs = Gb_par.Pool.map work xs\n"
+                (if clock then "Sys.time ()" else "Gb_obs.Clock.now ()") );
+          ]
+        in
+        check_rules "clock read flagged" [ "par-wall-clock" ]
+          (List.filter
+             (fun f -> f.Rules.rule = "par-wall-clock")
+             (graph_findings (sources true)));
+        check_rules "routed clock fine" []
+          (List.filter
+             (fun f -> f.Rules.rule = "par-wall-clock")
+             (graph_findings (sources false))));
+    case "rng-stream-discipline: a kernel must not open a second stream"
+      (fun () ->
+        let sources body =
+          [
+            ("fix/dune", "(library\n (name fix))\n");
+            ("fix/fix_kernel.ml", Printf.sprintf "let jitter rng n = %s\n" body);
+          ]
+        in
+        check_rules "fresh seed flagged" [ "rng-stream-discipline" ]
+          (graph_findings (sources "Rng.int (Rng.create ~seed:n) 3"));
+        check_rules "derived substream fine" []
+          (graph_findings (sources "Rng.int (Rng.substream rng n) 3")));
+    case "dead-export: unreferenced interface exports, used ones spared"
+      (fun () ->
+        let sources =
+          [
+            ("fix/dune", "(library\n (name fix))\n");
+            ("fix/fix_api.ml", "let used x = x + 1\nlet unused x = x - 1\n");
+            ("fix/fix_api.mli", "val used : int -> int\nval unused : int -> int\n");
+            ("fix/fix_caller.ml", "let go x = Fix_api.used x\n");
+          ]
+        in
+        match graph_findings sources with
+        | [ f ] ->
+            Alcotest.(check string) "rule" "dead-export" f.Rules.rule;
+            check_bool "names the dead export" true
+              (Helpers.contains f.Rules.message "`unused`")
+        | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs));
+    case "every program rule name is registered" (fun () ->
+        List.iter
+          (fun r -> check_bool r true (Rules.program_rule_name r))
+          [
+            "par-unsafe-state"; "par-ambient-rng"; "par-wall-clock";
+            "rng-stream-discipline"; "dead-export";
+          ];
+        check_bool "file-local rule is not a program rule" true
+          (not (Rules.program_rule_name "no-ambient-random")));
+    case "chains answer --why through the graph" (fun () ->
+        let p = Program.create (fixture ~par:true) in
+        match Program.find_symbol p "Fix_state.touch" with
+        | None -> Alcotest.fail "touch not found"
+        | Some n ->
+            check_bool "reachable" true
+              (Program.parallel_reachable p n.Program.n_id);
+            let chain = Program.chain p n.Program.n_id in
+            check_bool "chain >= 2" true (List.length chain >= 2);
+            check_bool "ends at touch" true
+              (match List.rev chain with
+              | last :: _ -> Helpers.contains last "touch"
+              | [] -> false));
+  ]
+
+(* --- Pragma accessors (the API the staleness messages are built from) ------- *)
+
+let pragma_accessor_tests =
+  [
+    case "pragma accessors expose line, rules and coverage" (fun () ->
+        let scanned =
+          Rules.scan_source ~file:"lib/fixture/code.ml"
+            "(* lint: allow no-ambient-random — fixture *)\nlet x = 1\n"
+        in
+        match scanned.Rules.s_pragmas with
+        | [ p ] ->
+            check_int "line" 1 (Rules.pragma_line p);
+            Alcotest.(check (list string))
+              "rules" [ "no-ambient-random" ] (Rules.pragma_rules p);
+            check_bool "covers next line" true
+              (Rules.pragma_covers p ~rule:"no-ambient-random" ~line:2);
+            check_bool "not three lines down" true
+              (not (Rules.pragma_covers p ~rule:"no-ambient-random" ~line:4));
+            check_bool "not another rule" true
+              (not (Rules.pragma_covers p ~rule:"no-wall-clock" ~line:2));
+            (* marking it used by hand (as the program driver does for
+               graph findings) keeps apply_pragmas from calling it stale *)
+            Rules.pragma_mark_used p;
+            check_rules "no stale report" []
+              (Rules.apply_pragmas scanned ~extra:[])
+        | ps -> Alcotest.failf "expected 1 pragma, got %d" (List.length ps));
+    case "stale pragmas name the nearest enclosing binding" (fun () ->
+        let src =
+          "let outer = 1\n\n(* lint: allow no-ambient-random — nothing here *)\nlet inner = 2\n"
+        in
+        let lexed = Tokenizer.tokenize src in
+        (match Rules.enclosing_binding lexed 3 with
+        | Some ("let", "outer") -> ()
+        | Some (kw, n) -> Alcotest.failf "expected `let outer`, got `%s %s`" kw n
+        | None -> Alcotest.fail "no enclosing binding found");
+        match findings src with
+        | [ f ] ->
+            check_bool "message names the rule" true
+              (Helpers.contains f.Rules.message "no-ambient-random");
+            check_bool "message names the binding" true
+              (Helpers.contains f.Rules.message "let outer")
+        | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs));
+  ]
+
 (* --- Driver and self-lint --------------------------------------------------- *)
 
 let repo_root () =
@@ -247,6 +491,9 @@ let driver_tests =
             findings = findings "let x = Random.int 5" }
         in
         let j = Gbisect.Obs.Json.of_string (Lint.render_json report) in
+        check_bool "schema_version" true
+          (Gbisect.Obs.Json.member "schema_version" j
+          = Some (Gbisect.Obs.Json.Int Lint.schema_version));
         check_bool "files_scanned" true
           (Gbisect.Obs.Json.member "files_scanned" j
           = Some (Gbisect.Obs.Json.Int 1));
@@ -256,6 +503,13 @@ let driver_tests =
         check_int "exit 1 on findings" 1 (Lint.exit_code report));
     case "exit_code is 0 when clean" (fun () ->
         check_int "clean" 0 (Lint.exit_code { Lint.files = []; findings = [] }));
+    case "lint_files takes exact files, no directory walk" (fun () ->
+        match repo_root () with
+        | None -> Alcotest.fail "could not locate the repo root from the test cwd"
+        | Some root ->
+            let f = Filename.concat root "lib/prng/rng.ml" in
+            let report = Lint.lint_files [ f ] in
+            Alcotest.(check (list string)) "just that file" [ f ] report.Lint.files);
     case "the repo's own sources lint clean" (fun () ->
         match repo_root () with
         | None -> Alcotest.fail "could not locate the repo root from the test cwd"
@@ -271,6 +525,24 @@ let driver_tests =
                 if report.Lint.findings <> [] then
                   Alcotest.failf "repo is not lint-clean:\n%s"
                     (Lint.render_human report)));
+    case "the repo's own sources survive whole-program analysis" (fun () ->
+        match repo_root () with
+        | None -> Alcotest.fail "could not locate the repo root from the test cwd"
+        | Some root ->
+            let paths =
+              List.filter Sys.file_exists
+                (List.map (Filename.concat root)
+                   [ "lib"; "bin"; "bench"; "test"; "examples"; "lint" ])
+            in
+            (match Lint.lint_program paths with
+            | Error msg -> Alcotest.failf "lint_program: %s" msg
+            | Ok (report, p) ->
+                let modules, defs, edges, par = Program.stats p in
+                check_bool "a real graph" true
+                  (modules > 50 && defs > 500 && edges > 1000 && par > 50);
+                if report.Lint.findings <> [] then
+                  Alcotest.failf "repo is not clean under --program:\n%s"
+                    (Lint.render_human report)));
   ]
 
 let () =
@@ -279,5 +551,8 @@ let () =
       ("tokenizer", tokenizer_tests);
       ("rules", rule_tests);
       ("pragmas", pragma_tests);
+      ("extractor", extractor_tests);
+      ("program rules", program_rule_tests);
+      ("pragma accessors", pragma_accessor_tests);
       ("driver", driver_tests);
     ]

@@ -154,7 +154,7 @@ let metrics_tests =
             Fun.protect
               ~finally:(fun () ->
                 Pool.set_jobs jobs0;
-                (* lint: allow no-wall-clock — restores the default clock source after the hammer *)
+                (* lint: allow no-wall-clock, par-wall-clock — restores the default clock source after the hammer *)
                 Clock.set Sys.time)
               (fun () ->
                 let n = 5_000 in
