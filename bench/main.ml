@@ -154,6 +154,58 @@ let run_parallel_bench profile selected jobs file =
           e.Registry.id seq par (seq /. par))
       selected
   in
+  (* Intra-run probes (PR 10): one instance big enough to cross the
+     chunked-kernel threshold (~80k edges), timed at --jobs 1 vs the
+     full pool. Each probe also re-asserts the determinism contract —
+     the cut must be identical at both job counts, or the probe row is
+     marked and the bench exits non-zero. *)
+  let probe_rows =
+    let g =
+      Gbisect.Gnp.generate (Gbisect.Rng.create ~seed:90210) ~n:20_000 ~p:(8.0 /. 19_999.)
+    in
+    let identical = ref true in
+    let probe id run =
+      let at j =
+        Pool.set_jobs j;
+        (* lint: allow no-wall-clock — the parallel bench measures real elapsed time by design *)
+        let t0 = Unix.gettimeofday () in
+        let cut = run (Gbisect.Rng.create ~seed:7) g in
+        (* lint: allow no-wall-clock — the parallel bench measures real elapsed time by design *)
+        (Unix.gettimeofday () -. t0, cut)
+      in
+      let seq, cut1 = at 1 in
+      let par, cutn = at jobs in
+      if cut1 <> cutn then identical := false;
+      Printf.printf
+        "  %-18s sequential %.2fs  parallel(%d) %.2fs  speedup %.2fx  cut %d%s\n" id
+        seq jobs par (seq /. par) cut1
+        (if cut1 = cutn then "" else Printf.sprintf " <> %d MISMATCH" cutn);
+      flush stdout;
+      Printf.sprintf
+        "    {\"id\": %S, \"sequential_s\": %.4f, \"parallel_s\": %.4f, \"speedup\": \
+         %.3f, \"cut\": %d, \"identical\": %b}"
+        id seq par (seq /. par) cut1 (cut1 = cutn)
+    in
+    let xsa_row =
+      probe "xsa" (fun rng g ->
+          Gbisect.Bisection.cut
+            (Gbisect.solve ~algorithm:`Xsa ~starts:1 rng g).Gbisect.bisection)
+    in
+    let race_row =
+      probe "race-portfolio" (fun rng g ->
+          (Gbisect.race rng g).Gbisect.Race.winner.Gbisect.Race.cut)
+    in
+    let vcycle_row =
+      probe "vcycle-kernels" (fun rng g ->
+          Gbisect.Bisection.cut
+            (Gbisect.solve ~algorithm:`Mlfm ~starts:1 rng g).Gbisect.bisection)
+    in
+    let rows = [ xsa_row; race_row; vcycle_row ] in
+    if not !identical then (
+      prerr_endline "bench: FATAL: a parallel probe broke --jobs byte-identity";
+      exit 1);
+    rows
+  in
   Pool.set_jobs jobs;
   let oc = open_out file in
   Fun.protect
@@ -168,6 +220,9 @@ let run_parallel_bench profile selected jobs file =
         \  \"profile\": %S,\n\
         \  \"tables\": [\n\
          %s\n\
+        \  ],\n\
+        \  \"probes\": [\n\
+         %s\n\
         \  ]\n\
          }\n"
         Gbisect.Perf_suite.schema_version
@@ -175,7 +230,8 @@ let run_parallel_bench profile selected jobs file =
         jobs
         (Domain.recommended_domain_count ())
         profile.Profile.name
-        (String.concat ",\n" rows));
+        (String.concat ",\n" rows)
+        (String.concat ",\n" probe_rows));
   Printf.printf "parallel bench written to %s\n\n" file
 
 let () =

@@ -175,20 +175,21 @@ let gen_cmd =
 (* ------------------------------------------------------------------ *)
 (* solve                                                               *)
 
+let parse_algorithm s =
+  match String.lowercase_ascii s with
+  | "kl" -> Ok `Kl
+  | "sa" -> Ok `Sa
+  | "ckl" -> Ok `Ckl
+  | "csa" -> Ok `Csa
+  | "fm" -> Ok `Fm
+  | "mlkl" | "multilevel" -> Ok `Multilevel
+  | "mlfm" -> Ok `Mlfm
+  | "xsa" -> Ok `Xsa
+  | _ -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+
 let algorithm_conv =
-  let parse s =
-    match String.lowercase_ascii s with
-    | "kl" -> Ok `Kl
-    | "sa" -> Ok `Sa
-    | "ckl" -> Ok `Ckl
-    | "csa" -> Ok `Csa
-    | "fm" -> Ok `Fm
-    | "mlkl" | "multilevel" -> Ok `Multilevel
-    | "mlfm" -> Ok `Mlfm
-    | _ -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
-  in
   let print fmt a = Format.pp_print_string fmt (Gbisect.algorithm_name a) in
-  Arg.conv (parse, print)
+  Arg.conv (parse_algorithm, print)
 
 let solve_cmd =
   let file =
@@ -196,7 +197,7 @@ let solve_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc)
   in
   let algorithm =
-    let doc = "Algorithm: kl, sa, ckl, csa, fm, mlkl, mlfm." in
+    let doc = "Algorithm: kl, sa, ckl, csa, fm, mlkl, mlfm, xsa." in
     Arg.(value & opt algorithm_conv `Ckl & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
   in
   let starts =
@@ -290,6 +291,82 @@ let solve_cmd =
       $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
+(* race                                                                *)
+
+let race_cmd =
+  let file =
+    let doc = "Graph file (edge list, or METIS if named *.graph)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc)
+  in
+  let portfolio =
+    let doc =
+      "Comma-separated backends to race (kl, sa, ckl, csa, fm, mlkl, mlfm, xsa). \
+       The list order is the tie-break order: equal cuts go to the earliest \
+       backend, never to wall-clock, so the output is byte-identical at any \
+       --jobs value."
+    in
+    let default =
+      String.concat ","
+        (List.map Gbisect.Serve_protocol.algorithm_id Gbisect.default_portfolio)
+    in
+    Arg.(value & opt string default & info [ "portfolio" ] ~docv:"LIST" ~doc)
+  in
+  let starts =
+    let doc = "Random starts per backend (best is kept)." in
+    Arg.(value & opt int 1 & info [ "starts" ] ~docv:"INT" ~doc)
+  in
+  let run file portfolio starts seed trace metrics jobs =
+    runtime_guard @@ fun () ->
+    apply_jobs jobs;
+    let portfolio =
+      String.split_on_char ',' portfolio
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match parse_algorithm s with
+             | Ok a -> a
+             | Error (`Msg m) -> usage_error m)
+    in
+    if portfolio = [] then usage_error "empty --portfolio";
+    let graph = read_graph file in
+    let rng = Gbisect.Rng.create ~seed in
+    let outcome =
+      with_obs ~trace ~metrics (fun () -> Gbisect.race ~portfolio ~starts rng graph)
+    in
+    (* Stdout carries only seed-determined fields — CI diffs this
+       byte-for-byte across --jobs values. Timings go to stderr. *)
+    Printf.printf "race on %s: %d backends, seed %d\n" file
+      (Array.length outcome.Gbisect.Race.entries)
+      seed;
+    Array.iter
+      (fun e ->
+        Printf.printf "  %-5s cut %d (%d+%d vertices)\n" e.Gbisect.Race.backend
+          e.Gbisect.Race.cut
+          (fst (Gbisect.Bisection.counts e.Gbisect.Race.bisection))
+          (snd (Gbisect.Bisection.counts e.Gbisect.Race.bisection)))
+      outcome.Gbisect.Race.entries;
+    let w = outcome.Gbisect.Race.winner in
+    Printf.printf "winner: %s cut %d\n" w.Gbisect.Race.backend w.Gbisect.Race.cut;
+    Array.iter
+      (fun e ->
+        Printf.eprintf "gbisect: race: %s finished in %.3fs\n" e.Gbisect.Race.backend
+          e.Gbisect.Race.seconds)
+      outcome.Gbisect.Race.entries
+  in
+  let info =
+    Cmd.info "race"
+      ~doc:
+        "Race a portfolio of bisection backends concurrently on one graph and keep \
+         the best cut. Deterministic: backend i runs on substream i of one derived \
+         seed and ties break to the earliest backend in the portfolio order, so \
+         stdout is byte-identical at every --jobs value (timings go to stderr)."
+  in
+  Cmd.v info
+    Term.(
+      const run $ file $ portfolio $ starts $ seed_term $ trace_term $ metrics_term
+      $ jobs_term)
+
+(* ------------------------------------------------------------------ *)
 (* kway                                                                *)
 
 let kway_cmd =
@@ -302,7 +379,7 @@ let kway_cmd =
     Arg.(value & opt int 4 & info [ "k" ] ~docv:"INT" ~doc)
   in
   let algorithm =
-    let doc = "Per-level bisection solver: kl, ckl, fm, mlkl, mlfm." in
+    let doc = "Per-level bisection solver: kl, ckl, fm, mlkl, mlfm, xsa." in
     Arg.(value & opt string "ckl" & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
   in
   let run file k algorithm seed =
@@ -315,6 +392,7 @@ let kway_cmd =
       | "fm" -> Gbisect.Kway.of_algorithm `Fm
       | "mlkl" | "multilevel" -> Gbisect.Kway.of_algorithm `Multilevel
       | "mlfm" -> Gbisect.Kway.of_algorithm `Mlfm
+      | "xsa" -> Gbisect.Kway.of_algorithm `Xsa
       | other -> failwith (Printf.sprintf "unknown solver %S" other)
     in
     let rng = Gbisect.Rng.create ~seed in
@@ -1131,6 +1209,7 @@ let main_cmd =
     [
       gen_cmd;
       solve_cmd;
+      race_cmd;
       kway_cmd;
       netlist_cmd;
       table_cmd;

@@ -62,7 +62,10 @@ val run :
     search space. *)
 
 module Problem : sig
-  include Sa.Problem
+  (* A move is the vertex to flip — public so engines built on this
+     problem (replica exchange, threshold accepting) can log and replay
+     accepted-move trajectories. *)
+  include Sa.Problem with type move = int
 
   val make : config -> Gb_graph.Csr.t -> int array -> state
   (** Build a state from a balanced side assignment (copied). *)

@@ -17,6 +17,7 @@ module Schedule = Gb_anneal.Schedule
 module Sa_bisect = Gb_anneal.Sa_bisect
 module Threshold = Gb_anneal.Threshold
 module Compaction = Gb_compaction.Compaction
+module Xsa = Gb_race.Xsa
 module Json = Gb_obs.Json
 module Telemetry = Gb_obs.Telemetry
 module Store = Gb_store.Store
@@ -55,6 +56,9 @@ let quick_threshold =
     frozen_after = 3;
     max_levels = 60;
   }
+
+let quick_xsa =
+  { Xsa.default_config with Xsa.chains = 3; rounds = 4; sweeps_per_round = 1 }
 
 (* {1 The runner hook: re-validate a packaged bisection} *)
 
@@ -123,6 +127,7 @@ let solvers : (string * (Rng.t -> Csr.t -> Bisection.t * int option)) list =
         let b, s = Compaction.csa ~config:quick_sa rng g in
         (b, Some s.Compaction.final_cut) );
     ("spectral", fun _rng g -> (Spectral.bisect g, None));
+    ("xsa", fun rng g -> (fst (Xsa.run ~config:quick_xsa rng g), None));
     ( "multilevel-kl",
       fun rng g ->
         let b, s = Compaction.recursive ~refiner:(Compaction.kl_refiner ()) rng g in
@@ -281,7 +286,11 @@ let fm_accounting rng g =
 
 let compaction_projection rng g =
   let m = Matching.random_maximal rng g in
-  let c = Contraction.contract g m in
+  (* [~chunks:3] forces the chunked parallel emission kernel even on the
+     miniature corpus graphs, so this projection law also exercises the
+     parallel V-cycle contraction path (the adaptive default would take
+     the sequential sweep below the size threshold). *)
+  let c = Contraction.contract ~chunks:3 g m in
   let coarse = c.Contraction.coarse in
   (* Fundamental correspondence: any coarse assignment, pulled back to
      the fine graph, has exactly the coarse cut. *)
@@ -356,6 +365,109 @@ let multilevel_projection rng g =
       stats.Compaction.levels
   in
   match verify_run g b with Ok () -> Ok () | Error e -> errf "mlfm result: %s" e
+
+(* {1 Replica exchange (xsa)} *)
+
+(* Law (PARALLELISM.md): an xsa run — every chain's accepted-move
+   trajectory, every swap decision, and the returned bisection — is a
+   pure function of the caller's stream. Two runs from equal substreams
+   of one derived base must agree byte-for-byte (this is what makes the
+   [--jobs] fan-out sound: chain k draws only from its own substream,
+   and the swap schedule only from its own). The result itself is
+   re-validated against the naive recompute, and on exact-oracle-sized
+   graphs it must not beat branch-and-bound. *)
+let replica_exchange rng g =
+  let base = Rng.derive_seed rng in
+  let observe () =
+    let b, s = Xsa.run ~config:quick_xsa ~record:true (Rng.substream ~base 0) g in
+    ( Bisection.cut b,
+      Array.to_list (Bisection.sides b),
+      s.Xsa.attempted,
+      s.Xsa.accepted,
+      s.Xsa.swaps_attempted,
+      s.Xsa.swaps_accepted,
+      s.Xsa.best_chain,
+      Array.to_list (Array.map Array.to_list s.Xsa.trajectories),
+      b )
+  in
+  let c1, sides1, att1, acc1, sw1, swa1, bc1, traj1, b1 = observe () in
+  let c2, sides2, att2, acc2, sw2, swa2, bc2, traj2, _ = observe () in
+  let* () =
+    require
+      ((c1, sides1, att1, acc1, sw1, swa1, bc1) = (c2, sides2, att2, acc2, sw2, swa2, bc2))
+      "two xsa runs from equal substreams disagree (cut %d vs %d, best chain %d vs %d)"
+      c1 c2 bc1 bc2
+  in
+  let* () =
+    require (traj1 = traj2)
+      "chain trajectories are not a pure function of the derived seed"
+  in
+  let* () =
+    require
+      (List.length traj1 = quick_xsa.Xsa.chains)
+      "expected %d recorded trajectories, got %d" quick_xsa.Xsa.chains
+      (List.length traj1)
+  in
+  let* () =
+    require
+      (List.for_all (List.for_all (fun v -> v >= 0 && v < Csr.n_vertices g)) traj1)
+      "a trajectory records an out-of-range vertex"
+  in
+  let* () = match verify_run g b1 with Ok () -> Ok () | Error e -> errf "xsa: %s" e in
+  let* () = require (Bisection.is_balanced b1) "xsa: unbalanced result" in
+  if Csr.n_vertices g <= exact_limit then
+    let w = Exact.bisection_width ~limit:exact_limit g in
+    require (c1 >= w) "xsa: cut %d beats the exact optimum %d" c1 w
+  else Ok ()
+
+(* {1 Parallel CSR kernels} *)
+
+(* The chunked gain-init, edge-enumeration and contraction kernels must
+   reproduce their sequential references exactly, at several chunk
+   counts, on every corpus shape ([~chunks] forces the decomposition
+   below the adaptive size threshold). The V-cycle invariants above run
+   on top of these kernels; this oracle pins the kernels themselves. *)
+let parallel_kernels rng g =
+  let side = Initial.random rng g in
+  let gains = Bisection.all_gains_sequential g side in
+  let* () =
+    List.fold_left
+      (fun acc chunks ->
+        let* () = acc in
+        require
+          (Bisection.all_gains_chunked ~chunks g side = gains)
+          "all_gains_chunked ~chunks:%d disagrees with the sequential pass" chunks)
+      (Ok ()) [ 1; 2; 5 ]
+  in
+  let* () =
+    require (Bisection.all_gains g side = gains)
+      "adaptive all_gains disagrees with the sequential pass"
+  in
+  let esrc, edst = Matching.upper_edges g in
+  let* () =
+    List.fold_left
+      (fun acc chunks ->
+        let* () = acc in
+        require
+          (Matching.upper_edges ~chunks g = (esrc, edst))
+          "upper_edges ~chunks:%d disagrees with the sequential fill" chunks)
+      (Ok ()) [ 1; 4 ]
+  in
+  let m = Matching.random_maximal rng g in
+  let reference = Contraction.contract g m in
+  List.fold_left
+    (fun acc chunks ->
+      let* () = acc in
+      let c = Contraction.contract ~chunks g m in
+      let* () =
+        require
+          (Csr.equal c.Contraction.coarse reference.Contraction.coarse)
+          "contract ~chunks:%d built a different coarse graph" chunks
+      in
+      require
+        (c.Contraction.fine_to_coarse = reference.Contraction.fine_to_coarse)
+        "contract ~chunks:%d built a different projection map" chunks)
+    (Ok ()) [ 1; 3 ]
 
 (* {1 Matching} *)
 
@@ -863,6 +975,8 @@ let all =
     o "fm-accounting" (n_ge 2) fm_accounting;
     o "compaction-projection" (n_ge 2) compaction_projection;
     o "multilevel-projection" (n_ge 2) multilevel_projection;
+    o "replica-exchange" (n_ge 2) replica_exchange;
+    o "parallel-kernels" (fun _ -> true) parallel_kernels;
     o "exact-witness" (fun g -> n_ge 2 g && Csr.n_vertices g <= exact_limit)
       exact_witness;
     o "tree-exact" (fun g -> n_ge 2 g && is_forest g) tree_exact_oracle;

@@ -5,8 +5,14 @@
     cut recomputation and (on small graphs) the exact branch-and-bound
     optimum, KL/FM incremental gain accounting against from-scratch
     recomputes, the compaction cut-correspondence law, matching
-    validity/maximality, the gain-bucket queue against a sorted-list
-    model, and the JSON/store codecs and the serving wire protocol
+    validity/maximality, the replica-exchange purity law (an xsa run
+    is a byte-exact function of its derived seed — the [--jobs]
+    soundness argument, see the [replica-exchange] oracle), the
+    chunked parallel CSR kernels against their sequential references
+    (the [parallel-kernels] oracle; the projection and gain oracles
+    additionally run {e on top of} those kernels), the gain-bucket
+    queue against a sorted-list model, and the JSON/store codecs and
+    the serving wire protocol
     ({!Gb_serve.Protocol}, the [serve-codec] oracle) and the
     [lint --json] finding codec ({!Gb_lint.Lint}, the [lint-json]
     oracle) against round-trip identity.

@@ -59,6 +59,7 @@ let of_algorithm algorithm : solver =
   | `Mlfm ->
       Bisection.sides
         (fst (Compaction.recursive ~refiner:(Compaction.fm_refiner ()) rng g))
+  | `Xsa -> Bisection.sides (fst (Gb_race.Xsa.run rng g))
 
 let part_sizes r =
   let sizes = Array.make r.k 0 in

@@ -31,10 +31,10 @@ val partition : k:int -> solver:solver -> Gb_prng.Rng.t -> Gb_graph.Csr.t -> res
     at most [Csr.n_vertices g] (for non-empty graphs). *)
 
 val of_algorithm :
-  [ `Kl | `Ckl | `Fm | `Multilevel | `Mlfm ] -> solver
-(** Deterministic-ish standard solvers (SA variants work too but are
-    slow at depth; wire {!Compaction.sa_refiner} through a custom
-    solver if wanted). *)
+  [ `Kl | `Ckl | `Fm | `Multilevel | `Mlfm | `Xsa ] -> solver
+(** Deterministic-ish standard solvers (plain SA works too but is slow
+    at depth; wire {!Compaction.sa_refiner} through a custom solver if
+    wanted — [`Xsa] is the tempered ensemble from {!Gb_race.Xsa}). *)
 
 val part_sizes : result -> int array
 val validate : Gb_graph.Csr.t -> result -> unit

@@ -32,6 +32,8 @@ module Sa_bisect = Gb_anneal.Sa_bisect
 module Threshold = Gb_anneal.Threshold
 module Compaction = Gb_compaction.Compaction
 module Kway = Gb_compaction.Kway
+module Xsa = Gb_race.Xsa
+module Race = Gb_race.Race
 module Hgraph = Gb_hyper.Hgraph
 module Hfm = Gb_hyper.Hfm
 module Expansion = Gb_hyper.Expansion
@@ -61,7 +63,7 @@ module Experiment_table = Gb_experiments.Table
 module Perf_suite = Gb_experiments.Perf_suite
 module Scale_suite = Gb_experiments.Scale_suite
 
-type algorithm = [ `Kl | `Sa | `Ckl | `Csa | `Fm | `Multilevel | `Mlfm ]
+type algorithm = [ `Kl | `Sa | `Ckl | `Csa | `Fm | `Multilevel | `Mlfm | `Xsa ]
 
 let algorithm_name = function
   | `Kl -> "KL"
@@ -71,6 +73,7 @@ let algorithm_name = function
   | `Fm -> "FM"
   | `Multilevel -> "MLKL"
   | `Mlfm -> "MLFM"
+  | `Xsa -> "XSA"
 
 type ml_config = { min_vertices : int; max_levels : int; coarse_starts : int }
 
@@ -92,6 +95,7 @@ let run_once ?(ml = default_ml_config) algorithm rng g =
   | `Fm -> fst (Fm.run rng g)
   | `Multilevel -> recursive (Compaction.kl_refiner ()) rng g
   | `Mlfm -> recursive (Compaction.fm_refiner ()) rng g
+  | `Xsa -> fst (Xsa.run rng g)
 
 let solve ?(algorithm = `Ckl) ?(starts = 2) ?ml rng g =
   if starts < 1 then invalid_arg "Gbisect.solve: starts must be >= 1";
@@ -107,3 +111,24 @@ let solve ?(algorithm = `Ckl) ?(starts = 2) ?ml rng g =
       starts
   in
   { bisection = best; algorithm; seconds = Obs.Clock.now () -. t0 }
+
+(* The portfolio order is part of the determinism contract: backend i
+   runs on substream i of one derived base, and Race breaks cut ties to
+   the lowest index — so both the winner and every loser's cut are
+   byte-identical at any --jobs value. *)
+let default_portfolio : algorithm list = [ `Kl; `Ckl; `Mlfm; `Xsa ]
+
+let race ?(portfolio = default_portfolio) ?(starts = 1) ?ml rng g =
+  if portfolio = [] then invalid_arg "Gbisect.race: empty portfolio";
+  if starts < 1 then invalid_arg "Gbisect.race: starts must be >= 1";
+  let backends =
+    List.map
+      (fun a ->
+        {
+          Race.name = Serve_protocol.algorithm_id a;
+          solve =
+            (fun rng g -> (solve ~algorithm:a ~starts ?ml rng g).bisection);
+        })
+      portfolio
+  in
+  Race.run ~backends rng g

@@ -61,6 +61,15 @@ module Threshold = Gb_anneal.Threshold
 module Compaction = Gb_compaction.Compaction
 module Kway = Gb_compaction.Kway
 
+module Xsa = Gb_race.Xsa
+(** Replica-exchange (parallel-tempering) SA: K tempered chains on the
+    ambient {!Pool} with deterministic seed-derived swap schedules —
+    the [`Xsa] algorithm. *)
+
+module Race = Gb_race.Race
+(** Deterministic algorithm portfolio racing — the engine behind
+    {!race} and [gbisect race]. *)
+
 
 (** {1 Hypergraphs (VLSI netlists; extension)} *)
 
@@ -192,7 +201,11 @@ type algorithm =
   | `Multilevel  (** recursive compaction over KL (extension) *)
   | `Mlfm
     (** recursive compaction over FM — linear-time passes, the
-        refiner of choice on million-edge instances (extension) *) ]
+        refiner of choice on million-edge instances (extension) *)
+  | `Xsa
+    (** replica-exchange SA — K tempered chains with deterministic
+        seed-derived swap schedules, run on the ambient {!Pool}
+        (extension; see {!Xsa}) *) ]
 
 val algorithm_name : algorithm -> string
 
@@ -234,3 +247,23 @@ val solve :
     the lowest start index — so the chosen bisection is bit-identical
     at every job count.
     @raise Invalid_argument if [starts < 1]. *)
+
+val default_portfolio : algorithm list
+(** [[`Kl; `Ckl; `Mlfm; `Xsa]] — one cheap pass, the paper's winner,
+    the multilevel workhorse, and the tempered ensemble. *)
+
+val race :
+  ?portfolio:algorithm list ->
+  ?starts:int ->
+  ?ml:ml_config ->
+  Gb_prng.Rng.t ->
+  Gb_graph.Csr.t ->
+  Gb_race.Race.outcome
+(** [race rng g] runs every portfolio backend concurrently on the same
+    instance (ambient {!Pool}) and keeps the best cut; ties resolve to
+    the earliest backend in the portfolio order, never to wall-clock.
+    Backend [i] solves on [Rng.substream ~base i] of one derived base
+    with [starts] (default 1) inner starts, so the whole outcome is
+    byte-identical at any [--jobs] value — [gbisect race] output is
+    CI-diffed across job counts to enforce exactly this.
+    @raise Invalid_argument on an empty portfolio or [starts < 1]. *)

@@ -56,7 +56,7 @@ end
 (* ------------------------------------------------------------------ *)
 (* Wire vocabularies                                                   *)
 
-type algorithm = [ `Kl | `Sa | `Ckl | `Csa | `Fm | `Multilevel | `Mlfm ]
+type algorithm = [ `Kl | `Sa | `Ckl | `Csa | `Fm | `Multilevel | `Mlfm | `Xsa ]
 
 let algorithm_id = function
   | `Kl -> "kl"
@@ -66,6 +66,7 @@ let algorithm_id = function
   | `Fm -> "fm"
   | `Multilevel -> "mlkl"
   | `Mlfm -> "mlfm"
+  | `Xsa -> "xsa"
 
 let algorithm_of_id s =
   match String.lowercase_ascii s with
@@ -76,6 +77,7 @@ let algorithm_of_id s =
   | "fm" -> Some `Fm
   | "mlkl" | "multilevel" -> Some `Multilevel
   | "mlfm" -> Some `Mlfm
+  | "xsa" -> Some `Xsa
   | _ -> None
 
 type graph_format = Edge_list | Metis
@@ -302,7 +304,7 @@ let parse_solve id j =
     | Some (Json.String s) -> (
         match algorithm_of_id s with
         | Some a -> Ok a
-        | None -> bad "solve: unknown algorithm %S (kl sa ckl csa fm mlkl mlfm)" s)
+        | None -> bad "solve: unknown algorithm %S (kl sa ckl csa fm mlkl mlfm xsa)" s)
     | Some _ -> Error (Bad_request, "solve: \"algorithm\" must be a string")
   in
   let* starts = int_field j "starts" 2 in

@@ -41,7 +41,7 @@ end
 
 (** {1 Requests} *)
 
-type algorithm = [ `Kl | `Sa | `Ckl | `Csa | `Fm | `Multilevel | `Mlfm ]
+type algorithm = [ `Kl | `Sa | `Ckl | `Csa | `Fm | `Multilevel | `Mlfm | `Xsa ]
 (** Same constructors as [Gbisect.algorithm]; redeclared so this
     library does not depend on the umbrella module. *)
 

@@ -151,6 +151,7 @@ let run_once algorithm rng g =
   | `Fm -> fst (Fm.run rng g)
   | `Multilevel -> fst (Compaction.recursive ~refiner:(Compaction.kl_refiner ()) rng g)
   | `Mlfm -> fst (Compaction.recursive ~refiner:(Compaction.fm_refiner ()) rng g)
+  | `Xsa -> fst (Gb_race.Xsa.run rng g)
 
 (* Mirrors [Gbisect.solve] exactly — same derive/substream discipline,
    same lowest-index tie-break — so a served job returns bit-identical
